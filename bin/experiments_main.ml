@@ -1,0 +1,66 @@
+(* CLI runner for the paper's experiments: list them, run a selection or
+   all, optionally dumping the figure series as CSV. *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List every reproduced experiment." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-16s %-12s %s\n" e.Experiments.Experiment.id
+          ("[" ^ e.Experiments.Experiment.paper_ref ^ "]")
+          e.Experiments.Experiment.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_experiments ids scale outdir =
+  let selected =
+    match ids with
+    | [] -> Experiments.Registry.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S; try the list command\n" id;
+                exit 2)
+          ids
+  in
+  List.iter
+    (fun e ->
+      let output = e.Experiments.Experiment.run ~scale in
+      Experiments.Experiment.print Format.std_formatter output;
+      match outdir with
+      | Some dir ->
+          List.iter
+            (fun path -> Printf.printf "wrote %s\n" path)
+            (Experiments.Experiment.save_csvs output ~dir)
+      | None -> ())
+    selected
+
+let run_cmd =
+  let doc = "Run experiments (all when none are named)." in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (see list).")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"S"
+          ~doc:"Time compression: 1.0 reproduces paper-length runs, 0.1 is a quick pass.")
+  in
+  let outdir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "outdir" ] ~docv:"DIR" ~doc:"Also write each figure's series as CSV.")
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiments $ ids $ scale $ outdir)
+
+let () =
+  let doc = "Reproduction experiments for 'DVFS Aware CPU Credit Enforcement'" in
+  let info = Cmd.info "dvfs-experiments" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

@@ -1,0 +1,76 @@
+(* Config-driven scenario runner: reads an xl.cfg-style file (see
+   Domconfig), simulates it, and prints a per-domain report plus ASCII
+   plots — the "xl create && xl top" of the simulator.
+
+   Usage: dune exec bin/xl_run.exe -- scenarios/v20_v70.cfg *)
+
+let report (built : Domconfig.built) =
+  let module Host = Hypervisor.Host in
+  let module Domain = Hypervisor.Domain in
+  let host = built.Domconfig.host in
+  let duration = built.Domconfig.duration in
+  let lo = Sim_time.of_us (Sim_time.to_us duration / 10) in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("domain", Table.Left);
+          ("credit %", Table.Right);
+          ("mean load %", Table.Right);
+          ("mean absolute %", Table.Right);
+          ("cpu time (s)", Table.Right);
+          ("pi exec time (s)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (_, domain, app) ->
+      let load = Host.series_domain_load host domain in
+      let absolute = Host.series_domain_absolute_load host domain in
+      let pi_time =
+        match app with
+        | Domconfig.App_pi pi -> (
+            match Workloads.Pi_app.execution_time pi with
+            | Some t -> Table.cell_f (Sim_time.to_sec t)
+            | None -> "unfinished")
+        | Domconfig.App_web _ | Domconfig.App_none -> "-"
+      in
+      Table.add_row table
+        [
+          Domain.name domain;
+          Table.cell_f1 (Domain.initial_credit domain);
+          Table.cell_f (Series.mean_between load lo duration);
+          Table.cell_f (Series.mean_between absolute lo duration);
+          Table.cell_f (Sim_time.to_sec (Domain.cpu_time domain));
+          pi_time;
+        ])
+    built.Domconfig.domains;
+  print_string (Table.render table);
+  Printf.printf "\nfinal frequency: %d MHz   energy: %.1f kJ   mean power: %.1f W\n\n"
+    (Cpu_model.Processor.current_freq (Host.processor host))
+    (Host.energy_joules host /. 1000.0)
+    (Host.mean_watts host);
+  let plot = Plot.create ~y_min:0.0 ~y_max:100.0 ~title:"domain loads (%)" () in
+  List.iter
+    (fun (spec, domain, _) ->
+      if not spec.Domconfig.dom0 then Plot.add plot (Host.series_domain_load host domain))
+    built.Domconfig.domains;
+  print_string (Plot.render plot);
+  let fplot = Plot.create ~title:"frequency (MHz)" () in
+  Plot.add fplot (Host.series_frequency host);
+  print_string (Plot.render fplot)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+      match Domconfig.parse_file path with
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 1
+      | Ok config ->
+          Format.printf "parsed configuration:@.%a@." Domconfig.pp_spec config;
+          let built = Domconfig.build config in
+          Hypervisor.Host.run_for built.Domconfig.host built.Domconfig.duration;
+          report built)
+  | _ ->
+      Printf.eprintf "usage: %s <config-file>\n" Sys.argv.(0);
+      exit 2

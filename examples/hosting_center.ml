@@ -1,0 +1,130 @@
+(* A hosting-center node: five customers with different SLAs and bursty
+   traffic (Poisson arrivals, plus an ON/OFF Markov-modulated batch
+   tenant) share one machine.  The provider wants to honour
+   every SLA while spending as little energy as possible.
+
+   The example runs the same tenant mix under three configurations and
+   prints a per-tenant SLA report plus the energy bill:
+
+   - Credit + stable ondemand: saves energy, breaks SLAs of busy tenants
+     whenever the others are quiet;
+   - SEDF (work-conserving): honours demand but burns energy and
+     over-delivers to tenants that did not pay for the extra capacity;
+   - PAS: honours exactly what each tenant bought, at near-minimal energy.
+
+   Run with: dune exec examples/hosting_center.exe *)
+
+module Domain = Hypervisor.Domain
+module Host = Hypervisor.Host
+module Processor = Cpu_model.Processor
+module Web_app = Workloads.Web_app
+
+let duration = Sim_time.of_sec 1200
+
+(* name, credit (% of host at max frequency), mean demand as a fraction of
+   the credit, activity window.  carol-ci's batch traffic is not a steady
+   rate but an ON/OFF Markov-modulated burst process. *)
+let tenants =
+  [
+    ("alice-api", 25.0, 1.4, (0, 1200)); (* overloaded the whole time *)
+    ("bob-shop", 20.0, 1.0, (0, 600)); (* exact load, first half *)
+    ("carol-ci", 15.0, 2.0, (300, 900)); (* ON/OFF Markov bursts; reported mid-run *)
+    ("dave-blog", 10.0, 0.3, (0, 1200)); (* light and steady *)
+    ("erin-etl", 20.0, 1.2, (600, 1200)); (* second half only *)
+  ]
+
+type tenant_app = Web of Web_app.t | Bursty of Workloads.Markov_load.t
+
+let build_domains seed =
+  let rng = Prng.create ~seed in
+  let dom0 = Domain.create ~is_dom0:true ~name:"Dom0" ~credit_pct:10.0 (Workloads.Workload.idle ()) in
+  let apps_and_domains =
+    List.map
+      (fun (name, credit, demand, (t0, t1)) ->
+        let rate = credit /. 100.0 *. demand in
+        if String.equal name "carol-ci" then begin
+          let burst =
+            Workloads.Markov_load.create ~seed:(seed + 17) ~on_rate:(rate *. 2.0)
+              ~off_rate:0.0 ~mean_on:20.0 ~mean_off:20.0 ()
+          in
+          let domain =
+            Domain.create ~name ~credit_pct:credit
+              (Workloads.Markov_load.workload burst ~request_work:0.005)
+          in
+          (Bursty burst, domain, (t0, t1))
+        end
+        else begin
+          let app =
+            Web_app.create
+              ~arrival:(Web_app.Poisson (Prng.split rng))
+              ~timeout:(Sim_time.of_sec 10)
+              ~rate_schedule:
+                (Workloads.Phases.three_phase
+                   ~active_from:(Sim_time.max (Sim_time.of_us 1) (Sim_time.of_sec t0))
+                   ~active_until:(Sim_time.of_sec t1) ~rate)
+              ()
+          in
+          let domain = Domain.create ~name ~credit_pct:credit (Web_app.workload app) in
+          (Web app, domain, (t0, t1))
+        end)
+      tenants
+  in
+  (dom0, apps_and_domains)
+
+let run_config name make_scheduler =
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let dom0, tenants' = build_domains 2013 in
+  let domains = dom0 :: List.map (fun (_, d, _) -> d) tenants' in
+  let scheduler, governor = make_scheduler processor domains in
+  let host = Host.create ~sim ~processor ~scheduler ?governor () in
+  Host.run_for host duration;
+  Printf.printf "%s\n%s\n" name (String.make (String.length name) '-');
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("tenant", Table.Left);
+          ("bought %", Table.Right);
+          ("delivered % (absolute)", Table.Right);
+          ("p90 response (s)", Table.Right);
+          ("timeouts", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (app, domain, (t0, t1)) ->
+      let lo = Sim_time.of_sec (t0 + ((t1 - t0) / 10)) in
+      let hi = Sim_time.of_sec (t1 - ((t1 - t0) / 10)) in
+      let abs = Host.series_domain_absolute_load host domain in
+      let worst_response, timeouts =
+        match app with
+        | Web w ->
+            let response = Web_app.response_times w in
+            ( (if Stats.Running.count response = 0 then "-"
+               else Table.cell_f (Stats.Running.max response)),
+              string_of_int (Web_app.timed_out_requests w) )
+        | Bursty b ->
+            (Printf.sprintf "burst backlog %.1f" (Workloads.Markov_load.queued_work b), "-")
+      in
+      Table.add_row table
+        [
+          Domain.name domain;
+          Table.cell_f1 (Domain.initial_credit domain);
+          Table.cell_f1 (Series.mean_between abs lo hi);
+          worst_response;
+          timeouts;
+        ])
+    tenants';
+  print_string (Table.render table);
+  Printf.printf "energy: %.1f kJ   mean power: %.1f W\n\n"
+    (Host.energy_joules host /. 1000.0)
+    (Host.mean_watts host)
+
+let () =
+  print_endline "Hosting-center node: five tenants, three configurations\n";
+  run_config "credit + stable ondemand" (fun processor domains ->
+      (Sched_credit.create domains, Some (Governors.Stable_ondemand.create processor)));
+  run_config "sedf (work conserving)" (fun processor domains ->
+      (Sched_sedf.create domains, Some (Governors.Stable_ondemand.create processor)));
+  run_config "PAS" (fun processor domains ->
+      (Pas.Pas_sched.scheduler (Pas.Pas_sched.create ~processor domains), None))

@@ -1,0 +1,62 @@
+(** Consolidation manager with DVFS-aware nodes.
+
+    The paper's closing perspective (§7): "energy aware resource management
+    strategies which would coordinate VM scheduling, frequency scaling and
+    memory management in a hosting center".  The manager owns a fixed fleet
+    of identical nodes and a set of VMs, packs the VMs onto the fewest
+    nodes that fit by memory (and a CPU-credit budget), switches empty
+    nodes to standby (VOVO), and optionally re-packs periodically from
+    measured demand — live migration at epoch granularity.
+
+    Each active node is a full {!Hypervisor.Host} running either the plain
+    Credit scheduler with the stable ondemand governor, or PAS.  Workloads
+    and domains persist across migrations: moving a VM rebuilds the hosts
+    involved but the VM's request queue travels with it (migration downtime
+    is not modelled; migrations are counted instead). *)
+
+type policy = Credit_ondemand | Pas_nodes | No_dvfs
+
+type t
+
+val create :
+  ?arch:Cpu_model.Arch.t ->
+  ?node_memory_mb:int ->
+  ?cpu_budget_pct:float ->
+  ?standby_watts:float ->
+  ?strategy:Placement.strategy ->
+  ?policy:policy ->
+  sim:Simulator.t ->
+  nodes:int ->
+  Vm.t list ->
+  t
+(** Defaults: Optiplex nodes, 16384 MB, CPU budget 90 % (Dom0 keeps 10),
+    5 W standby, First_fit_decreasing, [Pas_nodes].  Performs the initial
+    placement immediately.
+    @raise Failure if the VMs do not fit on the fleet. *)
+
+val run_for : t -> Sim_time.t -> unit
+
+val rebalance : t -> unit
+(** Re-packs from each VM's measured CPU demand since the last rebalance
+    (floored at 2 % so an idle VM keeps a foothold), rebuilding only the
+    nodes whose VM set changed.  @raise Failure if repacking is infeasible
+    (the previous placement is kept in that case). *)
+
+val auto_rebalance : t -> every:Sim_time.t -> unit
+(** Schedules {!rebalance} periodically on the manager's simulator. *)
+
+val nodes : t -> int
+val active_nodes : t -> int
+val node_of_vm : t -> Vm.t -> int
+(** @raise Not_found for a foreign VM. *)
+
+val migrations : t -> int
+(** VMs moved by rebalances so far (the initial placement is free). *)
+
+val energy_joules : t -> float
+(** Fleet-wide: all retired and running hosts plus standby energy of
+    switched-off nodes, up to the current instant. *)
+
+val vm_cpu_share : t -> Vm.t -> float
+(** The VM's measured CPU-time share of one node since the last rebalance
+    (the demand signal the next rebalance will use). *)

@@ -1,0 +1,40 @@
+(** VM-to-node bin packing.
+
+    Pure combinatorial core of the consolidation manager.  Memory is the
+    hard constraint (§2.3); the CPU dimension is a configurable budget
+    (credits may be oversubscribed deliberately — pass a budget above 100 to
+    allow it). *)
+
+type item = { id : int; memory_mb : int; cpu_pct : float }
+
+type strategy =
+  | First_fit  (** first node with room, in node order *)
+  | First_fit_decreasing  (** classic FFD by memory *)
+  | Best_fit  (** node left with the least residual memory *)
+
+val pack :
+  strategy ->
+  node_count:int ->
+  memory_capacity_mb:int ->
+  cpu_capacity_pct:float ->
+  item list ->
+  int array option
+(** [pack strategy ~node_count ~memory_capacity_mb ~cpu_capacity_pct items]
+    assigns each item to a node such that no node exceeds either capacity,
+    preferring to fill low-numbered nodes (so unused nodes can be switched
+    off).  The result maps the position of each item in the input list to a
+    node index; [None] if no assignment was found.
+    @raise Invalid_argument on non-positive capacities or node count, or on
+    an item exceeding a single node's capacity. *)
+
+val pack_exn :
+  strategy ->
+  node_count:int ->
+  memory_capacity_mb:int ->
+  cpu_capacity_pct:float ->
+  item list ->
+  int array
+(** @raise Failure when no assignment exists. *)
+
+val nodes_used : int array -> int
+(** Number of distinct nodes in an assignment. *)

@@ -1,0 +1,14 @@
+type t = { domain : Hypervisor.Domain.t; memory_mb : int }
+
+let create ?vcpus ~name ~credit_pct ~memory_mb workload =
+  if memory_mb <= 0 then invalid_arg "Vm.create: memory must be positive";
+  { domain = Hypervisor.Domain.create ?vcpus ~name ~credit_pct workload; memory_mb }
+
+let domain t = t.domain
+let name t = Hypervisor.Domain.name t.domain
+let credit_pct t = Hypervisor.Domain.initial_credit t.domain
+let memory_mb t = t.memory_mb
+let equal a b = Hypervisor.Domain.equal a.domain b.domain
+
+let pp ppf t =
+  Format.fprintf ppf "%s(credit=%.0f%% mem=%dMB)" (name t) (credit_pct t) t.memory_mb

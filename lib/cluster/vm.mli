@@ -1,0 +1,27 @@
+(** A virtual machine as the hosting-center manager sees it: a domain plus
+    the memory it permanently occupies.
+
+    §2.3 of the paper: memory is the consolidation bottleneck — "any VM,
+    even idle, needs physical memory, which limits the number of VMs that
+    can be executed on a host".  The memory figure is therefore a hard
+    packing constraint, unlike the CPU credit which can be oversubscribed. *)
+
+type t
+
+val create :
+  ?vcpus:int ->
+  name:string ->
+  credit_pct:float ->
+  memory_mb:int ->
+  Workloads.Workload.t ->
+  t
+(** @raise Invalid_argument on a non-positive memory size (credit and vcpus
+    are validated by {!Hypervisor.Domain.create}). *)
+
+val domain : t -> Hypervisor.Domain.t
+val name : t -> string
+val credit_pct : t -> float
+val memory_mb : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+module Frequency = Cpu_model.Frequency
+module Calibration = Cpu_model.Calibration
+
+let frequency_ratio = Frequency.ratio
+
+let check_speed ratio cf =
+  if not (ratio *. cf > 0.0) then invalid_arg "Equations: ratio * cf must be positive"
+
+let absolute_load ~global_load ~ratio ~cf = global_load *. ratio *. cf
+
+let load_at ~absolute_load ~ratio ~cf =
+  check_speed ratio cf;
+  absolute_load /. (ratio *. cf)
+
+let time_at ~t_max ~ratio ~cf =
+  check_speed ratio cf;
+  t_max /. (ratio *. cf)
+
+let time_with_credit ~t_init ~c_init ~c_new =
+  if not (c_init > 0.0 && c_new > 0.0) then
+    invalid_arg "Equations.time_with_credit: credits must be positive";
+  t_init *. c_init /. c_new
+
+let compensated_credit ~initial ~ratio ~cf =
+  check_speed ratio cf;
+  initial /. (ratio *. cf)
+
+let can_absorb table calibration freq ~absolute_load =
+  let ratio = Frequency.ratio table freq in
+  let cf = Calibration.cf calibration table freq in
+  ratio *. 100.0 *. cf > absolute_load
+
+(* Listing 1.1, iterating the frequency table in ascending order. *)
+let compute_new_freq table calibration ~absolute_load =
+  let levels = Frequency.levels table in
+  let chosen = ref (Frequency.max_freq table) in
+  (try
+     Array.iter
+       (fun f ->
+         if can_absorb table calibration f ~absolute_load then begin
+           chosen := f;
+           raise Exit
+         end)
+       levels
+   with Exit -> ());
+  !chosen

@@ -1,0 +1,85 @@
+module Processor = Cpu_model.Processor
+module Domain = Hypervisor.Domain
+module Scheduler = Hypervisor.Scheduler
+
+type t = {
+  processor : Processor.t;
+  credit : Scheduler.t; (* the underlying Credit scheduler *)
+  domains : Domain.t list;
+  window : float array; (* ring of the last 3 utilization samples *)
+  mutable filled : int;
+  mutable next : int;
+  mutable evaluations : int;
+  mutable frequency_decisions : int;
+  mutable last_absolute_load : float;
+  mutable scheduler : Scheduler.t option;
+}
+
+let global_load t =
+  let n = max 1 t.filled in
+  let sum = ref 0.0 in
+  for i = 0 to t.filled - 1 do
+    sum := !sum +. t.window.(i)
+  done;
+  !sum /. float_of_int n *. 100.0
+
+(* One PAS evaluation: Listing 1.1 then Listing 1.2. *)
+let evaluate t ~now ~busy_fraction =
+  t.window.(t.next) <- busy_fraction;
+  t.next <- (t.next + 1) mod Array.length t.window;
+  if t.filled < Array.length t.window then t.filled <- t.filled + 1;
+  t.evaluations <- t.evaluations + 1;
+  let table = Processor.freq_table t.processor in
+  let calibration = (Processor.arch t.processor).Cpu_model.Arch.calibration in
+  let absolute_load =
+    Equations.absolute_load ~global_load:(global_load t) ~ratio:(Processor.ratio t.processor)
+      ~cf:(Processor.cf t.processor)
+  in
+  t.last_absolute_load <- absolute_load;
+  let new_freq = Equations.compute_new_freq table calibration ~absolute_load in
+  let ratio = Cpu_model.Frequency.ratio table new_freq in
+  let cf = Cpu_model.Calibration.cf calibration table new_freq in
+  List.iter
+    (fun d ->
+      let initial = Domain.initial_credit d in
+      if initial > 0.0 then
+        t.credit.Scheduler.set_effective_credit d
+          (Equations.compensated_credit ~initial ~ratio ~cf))
+    t.domains;
+  if new_freq <> Processor.current_freq t.processor then
+    t.frequency_decisions <- t.frequency_decisions + 1;
+  Processor.set_freq t.processor ~now new_freq
+
+let create ?(window = Sim_time.of_ms 100) ?(account_period = Sim_time.of_ms 30) ~processor
+    domains =
+  let credit = Sched_credit.create ~account_period domains in
+  let t =
+    {
+      processor;
+      credit;
+      domains;
+      window = Array.make 3 0.0;
+      filled = 0;
+      next = 0;
+      evaluations = 0;
+      frequency_decisions = 0;
+      last_absolute_load = 0.0;
+      scheduler = None;
+    }
+  in
+  let sched =
+    Scheduler.make ~name:"pas" ~domains:credit.Scheduler.domains ~pick:credit.Scheduler.pick
+      ~charge:credit.Scheduler.charge ~on_account_period:credit.Scheduler.on_account_period
+      ~set_effective_credit:credit.Scheduler.set_effective_credit
+      ~effective_credit:credit.Scheduler.effective_credit
+      ~observe_window:(fun ~now ~busy_fraction -> evaluate t ~now ~busy_fraction)
+      ~window_period:window ()
+  in
+  t.scheduler <- Some sched;
+  t
+
+let scheduler t = match t.scheduler with Some s -> s | None -> assert false
+let evaluations t = t.evaluations
+let frequency_decisions t = t.frequency_decisions
+let last_absolute_load t = t.last_absolute_load
+let effective_credit t d = t.credit.Scheduler.effective_credit d

@@ -1,0 +1,93 @@
+module Smp = Cpu_model.Smp
+module Frequency = Cpu_model.Frequency
+module Calibration = Cpu_model.Calibration
+module Domain = Hypervisor.Domain
+module Scheduler = Hypervisor.Scheduler
+
+type domain_window = { ring : float array; mutable filled : int; mutable next : int }
+
+type t = {
+  smp : Smp.t;
+  scheduler : Scheduler.t;
+  domains : Domain.t list;
+  window : Sim_time.t;
+  windows : domain_window array; (* one per frequency domain *)
+  mutable evaluations : int;
+  mutable last_absolute_load : float;
+}
+
+let create ?(window = Sim_time.of_ms 100) ~smp ~scheduler domains =
+  {
+    smp;
+    scheduler;
+    domains;
+    window;
+    windows =
+      Array.init (Smp.domain_count smp) (fun _ ->
+          { ring = Array.make 3 0.0; filled = 0; next = 0 });
+    evaluations = 0;
+    last_absolute_load = 0.0;
+  }
+
+let push_sample w v =
+  w.ring.(w.next) <- v;
+  w.next <- (w.next + 1) mod Array.length w.ring;
+  if w.filled < Array.length w.ring then w.filled <- w.filled + 1
+
+let mean w =
+  if w.filled = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to w.filled - 1 do
+      sum := !sum +. w.ring.(i)
+    done;
+    !sum /. float_of_int w.filled
+  end
+
+(* Rescale every domain's credit for the slowest frequency domain of the
+   package: a host-wide credit must compensate the worst case. *)
+let rescale_credits t =
+  let table = Smp.freq_table t.smp in
+  let cal = (Smp.arch t.smp).Cpu_model.Arch.calibration in
+  let slowest = ref (Frequency.max_freq table) in
+  for domain = 0 to Smp.domain_count t.smp - 1 do
+    let f = Smp.current_freq t.smp ~domain in
+    if f < !slowest then slowest := f
+  done;
+  let ratio = Frequency.ratio table !slowest in
+  let cf = Calibration.cf cal table !slowest in
+  List.iter
+    (fun d ->
+      let initial = Domain.initial_credit d in
+      if initial > 0.0 then
+        t.scheduler.Scheduler.set_effective_credit d
+          (Equations.compensated_credit ~initial ~ratio ~cf))
+    t.domains
+
+let decide t ~now ~domain ~core_utils =
+  let table = Smp.freq_table t.smp in
+  let cal = (Smp.arch t.smp).Cpu_model.Arch.calibration in
+  let freq = Smp.current_freq t.smp ~domain in
+  let speed = Calibration.effective_speed cal table freq in
+  (* Absolute load of this frequency domain, as a percentage of its cores'
+     maximum capacity. *)
+  let sum_util = Array.fold_left ( +. ) 0.0 core_utils in
+  let abs_pct = sum_util *. speed /. float_of_int (Array.length core_utils) *. 100.0 in
+  let w = t.windows.(domain) in
+  push_sample w abs_pct;
+  t.evaluations <- t.evaluations + 1;
+  let averaged = mean w in
+  t.last_absolute_load <- averaged;
+  let new_freq = Equations.compute_new_freq table cal ~absolute_load:averaged in
+  Smp.set_freq t.smp ~now ~domain new_freq;
+  rescale_credits t
+
+let policy t =
+  {
+    Hypervisor.Smp_host.policy_name = "pas-smp";
+    period = t.window;
+    decide = (fun ~now ~domain ~core_utils -> decide t ~now ~domain ~core_utils);
+  }
+
+let evaluations t = t.evaluations
+let last_absolute_load t = t.last_absolute_load

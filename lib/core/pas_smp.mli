@@ -1,0 +1,29 @@
+(** PAS on a multi-core host — the §7 perspective ("per-socket DVFS,
+    per-core DVFS") realised.
+
+    The policy generalises the single-core PAS evaluation to a frequency
+    domain: the domain's absolute load is the frequency-weighted work rate
+    of its cores relative to their maximum capacity (averaged over the last
+    three windows), Listing 1.1 picks the domain frequency, and Listing 1.2
+    rescales every VM credit by [1 / (ratio * cf)] of the {e package}
+    frequency.  With per-core DVFS each domain is evaluated independently,
+    but credits — which are a host-wide quantity — follow the slowest
+    domain so that no VM's guarantee is under-compensated. *)
+
+type t
+
+val create :
+  ?window:Sim_time.t ->
+  smp:Cpu_model.Smp.t ->
+  scheduler:Hypervisor.Scheduler.t ->
+  Hypervisor.Domain.t list ->
+  t
+(** [window] defaults to 100 ms.  [scheduler] must be the scheduler
+    installed on the host (its [set_effective_credit] is used). *)
+
+val policy : t -> Hypervisor.Smp_host.dvfs_policy
+(** Pass as [?dvfs] to {!Hypervisor.Smp_host.create}. *)
+
+val evaluations : t -> int
+val last_absolute_load : t -> float
+(** Percent of the host's maximum capacity, from the latest evaluation. *)

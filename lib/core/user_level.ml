@@ -1,0 +1,74 @@
+module Processor = Cpu_model.Processor
+module Domain = Hypervisor.Domain
+module Scheduler = Hypervisor.Scheduler
+
+type daemon = {
+  sim : Simulator.t;
+  handle : Simulator.handle;
+  mutable adjustments : int;
+  mutable frequency_requests : int;
+}
+
+let compensate ~processor ~scheduler ~freq domains =
+  let table = Processor.freq_table processor in
+  let calibration = (Processor.arch processor).Cpu_model.Arch.calibration in
+  let ratio = Cpu_model.Frequency.ratio table freq in
+  let cf = Cpu_model.Calibration.cf calibration table freq in
+  let changed = ref false in
+  List.iter
+    (fun d ->
+      let initial = Domain.initial_credit d in
+      if initial > 0.0 then begin
+        let target = Equations.compensated_credit ~initial ~ratio ~cf in
+        if Float.abs (scheduler.Scheduler.effective_credit d -. target) > 1e-9 then begin
+          scheduler.Scheduler.set_effective_credit d target;
+          changed := true
+        end
+      end)
+    domains;
+  !changed
+
+let credit_manager ?(period = Sim_time.of_sec 1) ~sim ~processor ~scheduler domains =
+  let daemon = ref None in
+  let handle =
+    Simulator.every sim period (fun () ->
+        let freq = Processor.current_freq processor in
+        if compensate ~processor ~scheduler ~freq domains then
+          match !daemon with Some d -> d.adjustments <- d.adjustments + 1 | None -> ())
+  in
+  let d = { sim; handle; adjustments = 0; frequency_requests = 0 } in
+  daemon := Some d;
+  d
+
+let full_manager ?(period = Sim_time.of_ms 500) ?userspace ~sim ~processor ~scheduler
+    ~utilization domains =
+  let daemon = ref None in
+  let table = Processor.freq_table processor in
+  let calibration = (Processor.arch processor).Cpu_model.Arch.calibration in
+  let handle =
+    Simulator.every sim period (fun () ->
+        let busy_fraction = utilization () in
+        let absolute_load =
+          Equations.absolute_load ~global_load:(busy_fraction *. 100.0)
+            ~ratio:(Processor.ratio processor) ~cf:(Processor.cf processor)
+        in
+        let new_freq = Equations.compute_new_freq table calibration ~absolute_load in
+        let changed = compensate ~processor ~scheduler ~freq:new_freq domains in
+        let freq_changed = new_freq <> Processor.current_freq processor in
+        (if freq_changed then
+           match userspace with
+           | Some us -> Governors.Userspace.request us new_freq
+           | None -> Processor.set_freq processor ~now:(Simulator.now sim) new_freq);
+        match !daemon with
+        | Some d ->
+            if changed then d.adjustments <- d.adjustments + 1;
+            if freq_changed then d.frequency_requests <- d.frequency_requests + 1
+        | None -> ())
+  in
+  let d = { sim; handle; adjustments = 0; frequency_requests = 0 } in
+  daemon := Some d;
+  d
+
+let adjustments d = d.adjustments
+let frequency_requests d = d.frequency_requests
+let stop d = Simulator.cancel d.sim d.handle

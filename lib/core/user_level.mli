@@ -1,0 +1,46 @@
+(** User-level PAS implementations — the first two implementation choices of
+    §4.1.  The paper notes they are "quite intrusive because of system calls"
+    and "may lack reactivity"; the ablation experiment quantifies the
+    reactivity gap against the in-hypervisor {!Pas_sched}.
+
+    Both variants are periodic daemons scheduled on the simulator:
+
+    - {!credit_manager}: an (external) ondemand governor keeps managing the
+      frequency; the daemon merely watches the frequency and rewrites VM
+      credits to compensate it;
+    - {!full_manager}: the daemon also samples the host load, chooses the
+      frequency itself (through the userspace governor when provided, which
+      adds one more period of lag) and rewrites the credits. *)
+
+type daemon
+
+val credit_manager :
+  ?period:Sim_time.t ->
+  sim:Simulator.t ->
+  processor:Cpu_model.Processor.t ->
+  scheduler:Hypervisor.Scheduler.t ->
+  Hypervisor.Domain.t list ->
+  daemon
+(** Default period: 1 s (a userland monitoring loop). *)
+
+val full_manager :
+  ?period:Sim_time.t ->
+  ?userspace:Governors.Userspace.t ->
+  sim:Simulator.t ->
+  processor:Cpu_model.Processor.t ->
+  scheduler:Hypervisor.Scheduler.t ->
+  utilization:(unit -> float) ->
+  Hypervisor.Domain.t list ->
+  daemon
+(** [utilization] must behave like {!Hypervisor.Host.utilization_probe}:
+    each call returns the busy fraction since the previous call.  Default
+    period: 500 ms. *)
+
+val adjustments : daemon -> int
+(** Number of periods in which the daemon changed at least one credit. *)
+
+val frequency_requests : daemon -> int
+(** Frequency changes requested ([credit_manager]: always 0). *)
+
+val stop : daemon -> unit
+(** Cancels the periodic task. *)

@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  freq_table : Frequency.table;
+  calibration : Calibration.t;
+  idle_watts : float;
+  max_watts : float;
+}
+
+let fitted name freqs cf_min ~idle_watts ~max_watts =
+  let freq_table = Frequency.create freqs in
+  let calibration =
+    if cf_min >= 1.0 then Calibration.ideal
+    else Calibration.exponent (Calibration.alpha_of_cf_min ~freq_table ~cf_min)
+  in
+  { name; freq_table; calibration; idle_watts; max_watts }
+
+let optiplex_755 =
+  fitted "Intel Core 2 Duo E6750 (Optiplex 755)"
+    [ 1600; 1867; 2133; 2400; 2667 ]
+    1.0 ~idle_watts:45.0 ~max_watts:95.0
+
+let elite_8300 =
+  fitted "Intel Core i7-3770 (Elite 8300)"
+    [ 1600; 2000; 2400; 2800; 3100; 3400 ]
+    0.86206 ~idle_watts:30.0 ~max_watts:95.0
+
+let xeon_x3440 =
+  fitted "Intel Xeon X3440" [ 1200; 2533 ] 0.94867 ~idle_watts:40.0 ~max_watts:110.0
+
+let xeon_l5420 =
+  fitted "Intel Xeon L5420" [ 2000; 2500 ] 0.99903 ~idle_watts:35.0 ~max_watts:80.0
+
+let xeon_e5_2620 =
+  fitted "Intel Xeon E5-2620" [ 1200; 2000 ] 0.80338 ~idle_watts:45.0 ~max_watts:115.0
+
+let opteron_6164_he =
+  fitted "AMD Opteron 6164 HE" [ 800; 1700 ] 0.99508 ~idle_watts:40.0 ~max_watts:105.0
+
+let table1_machines = [ xeon_x3440; xeon_l5420; xeon_e5_2620; opteron_6164_he; elite_8300 ]
+let all = optiplex_755 :: table1_machines
+
+let find name =
+  let norm s = String.lowercase_ascii s in
+  List.find_opt (fun a -> String.equal (norm a.name) (norm name)) all
+
+let cf_min t = Calibration.cf t.calibration t.freq_table (Frequency.min_freq t.freq_table)
+
+let pp ppf t =
+  Format.fprintf ppf "%s %a cf_min=%.5f" t.name Frequency.pp t.freq_table (cf_min t)

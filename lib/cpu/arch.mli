@@ -1,0 +1,50 @@
+(** Architecture catalog.
+
+    One entry per machine the paper uses: the DELL Optiplex 755 (the main
+    testbed, §5.1), the HP Elite 8300's i7-3770 (Table 2), and the Grid5000
+    processors of Table 1.  Frequency tables come from the paper's figures
+    where shown (the Optiplex exposes 1600/1867/2133/2400/2667 MHz on the
+    figures' right axes); the others use the processors' documented nominal
+    and minimum frequencies.  Calibration exponents are fitted so that the
+    model's [cf_min] equals the value published in Table 1. *)
+
+type t = {
+  name : string;
+  freq_table : Frequency.table;
+  calibration : Calibration.t;
+  idle_watts : float;  (** package power at idle, lowest frequency *)
+  max_watts : float;  (** package power fully loaded at maximum frequency *)
+}
+
+val optiplex_755 : t
+(** Intel Core 2 Duo 2.66 GHz — the paper's main testbed.  [cf = 1]: §4.2
+    says cf is "very close to 1" on this machine. *)
+
+val elite_8300 : t
+(** Intel Core i7-3770 3.4 GHz — Table 1 gives [cf_min = 0.86206]. *)
+
+val xeon_x3440 : t
+(** [cf_min = 0.94867]. *)
+
+val xeon_l5420 : t
+(** [cf_min = 0.99903]. *)
+
+val xeon_e5_2620 : t
+(** [cf_min = 0.80338] — the paper's example of a significantly non-linear
+    architecture. *)
+
+val opteron_6164_he : t
+(** [cf_min = 0.99508]. *)
+
+val table1_machines : t list
+(** The five machines of Table 1, in the paper's column order. *)
+
+val all : t list
+
+val find : string -> t option
+(** Case-insensitive lookup by [name]. *)
+
+val cf_min : t -> float
+(** The model's calibration factor at the minimum frequency. *)
+
+val pp : Format.formatter -> t -> unit

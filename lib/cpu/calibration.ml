@@ -1,0 +1,30 @@
+type t = Ideal | Exponent of float | Table of (Frequency.mhz * float) list
+
+let ideal = Ideal
+
+let exponent alpha =
+  if alpha < 0.0 then invalid_arg "Calibration.exponent: negative exponent";
+  Exponent alpha
+
+let table entries =
+  List.iter
+    (fun (_, v) -> if not (v > 0.0) then invalid_arg "Calibration.table: non-positive cf")
+    entries;
+  Table entries
+
+let alpha_of_cf_min ~freq_table ~cf_min =
+  if not (cf_min > 0.0 && cf_min <= 1.0) then
+    invalid_arg "Calibration.alpha_of_cf_min: cf_min must be in (0, 1]";
+  if Frequency.count freq_table < 2 then
+    invalid_arg "Calibration.alpha_of_cf_min: table needs at least two levels";
+  let ratio_min = Frequency.ratio freq_table (Frequency.min_freq freq_table) in
+  if cf_min = 1.0 then 0.0 else log cf_min /. log ratio_min
+
+let cf t freq_table f =
+  let ratio = Frequency.ratio freq_table f in
+  match t with
+  | Ideal -> 1.0
+  | Exponent alpha -> ratio ** alpha
+  | Table entries -> ( match List.assoc_opt f entries with Some v -> v | None -> 1.0)
+
+let effective_speed t freq_table f = Frequency.ratio freq_table f *. cf t freq_table f

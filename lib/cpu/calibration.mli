@@ -1,0 +1,40 @@
+(** The [cf_i] calibration factor (paper §4.2, eq. (1)).
+
+    The paper models performance as proportional to frequency up to a
+    per-frequency, per-architecture correction [cf_i] ("very close to 1" on
+    most machines, but 0.80 on a Xeon E5-2620).  [cf_i < 1] means the
+    processor is *slower* at frequency [i] than linear scaling predicts —
+    typically because uncore/memory clocks scale too.
+
+    Three models are provided:
+    - [ideal]: [cf = 1] everywhere (pure linear scaling);
+    - [exponent alpha]: [cf_i = ratio_i ** alpha], a one-parameter law that
+      matches the published per-architecture [cf_min] values when [alpha] is
+      fitted with {!alpha_of_cf_min};
+    - [table]: explicit per-frequency values, for measured data. *)
+
+type t
+
+val ideal : t
+
+val exponent : float -> t
+(** @raise Invalid_argument on a negative exponent. *)
+
+val table : (Frequency.mhz * float) list -> t
+(** Frequencies absent from the list fall back to [cf = 1].
+    @raise Invalid_argument on a non-positive [cf] value. *)
+
+val alpha_of_cf_min : freq_table:Frequency.table -> cf_min:float -> float
+(** The exponent such that [exponent alpha] yields exactly [cf_min] at the
+    table's minimum frequency.
+    @raise Invalid_argument if [cf_min] is not in (0, 1], or the table has a
+    single level. *)
+
+val cf : t -> Frequency.table -> Frequency.mhz -> float
+(** [cf t table f] is [cf_i] for frequency [f].  Always 1.0 at the maximum
+    frequency.  @raise Not_found if [f] is not a level of [table]. *)
+
+val effective_speed : t -> Frequency.table -> Frequency.mhz -> float
+(** [ratio_i *. cf_i] — the capacity of the processor at [f] relative to its
+    capacity at the maximum frequency.  This is the ground-truth performance
+    law of the simulated hardware. *)

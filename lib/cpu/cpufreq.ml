@@ -1,0 +1,60 @@
+type t = {
+  freq_table : Frequency.table;
+  mutable current : Frequency.mhz;
+  mutable transitions : int;
+  mutable last_update : Sim_time.t;
+  residency : Sim_time.t array; (* indexed like the ascending level table *)
+}
+
+let create ~freq_table ~init =
+  if not (Frequency.mem freq_table init) then
+    invalid_arg "Cpufreq.create: init is not a supported level";
+  {
+    freq_table;
+    current = init;
+    transitions = 0;
+    last_update = Sim_time.zero;
+    residency = Array.make (Frequency.count freq_table) Sim_time.zero;
+  }
+
+let freq_table t = t.freq_table
+let current t = t.current
+
+let account t ~now =
+  if Sim_time.compare now t.last_update < 0 then
+    invalid_arg "Cpufreq: time moved backwards";
+  let i = Frequency.index_of t.freq_table t.current in
+  t.residency.(i) <- Sim_time.add t.residency.(i) (Sim_time.sub now t.last_update);
+  t.last_update <- now
+
+let set t ~now freq =
+  let freq = Frequency.closest t.freq_table freq in
+  account t ~now;
+  if freq <> t.current then begin
+    t.current <- freq;
+    t.transitions <- t.transitions + 1
+  end
+
+let transitions t = t.transitions
+
+let residency t ~now =
+  let snapshot = Array.copy t.residency in
+  let i = Frequency.index_of t.freq_table t.current in
+  snapshot.(i) <- Sim_time.add snapshot.(i) (Sim_time.sub now t.last_update);
+  Array.to_list (Array.mapi (fun j d -> (Frequency.nth t.freq_table j, d)) snapshot)
+
+let residency_ratio t ~now freq =
+  if Sim_time.equal now Sim_time.zero then 0.0
+  else begin
+    let d = List.assoc freq (residency t ~now) in
+    Sim_time.to_sec d /. Sim_time.to_sec now
+  end
+
+let mean_frequency t ~now =
+  if Sim_time.equal now Sim_time.zero then float_of_int t.current
+  else begin
+    let total = Sim_time.to_sec now in
+    List.fold_left
+      (fun acc (f, d) -> acc +. (float_of_int f *. Sim_time.to_sec d /. total))
+      0.0 (residency t ~now)
+  end

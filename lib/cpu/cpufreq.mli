@@ -1,0 +1,34 @@
+(** The cpufreq driver (paper §2.2).
+
+    Governors do not touch the hardware directly: they call into cpufreq,
+    which validates the request against the P-state table, performs the
+    switch and keeps the statistics Linux exposes under
+    [cpufreq/stats] — per-state residency and the transition count. *)
+
+type t
+
+val create : freq_table:Frequency.table -> init:Frequency.mhz -> t
+(** @raise Invalid_argument if [init] is not a level of the table. *)
+
+val freq_table : t -> Frequency.table
+
+val current : t -> Frequency.mhz
+
+val set : t -> now:Sim_time.t -> Frequency.mhz -> unit
+(** Switches to the requested level.  Requests for the current frequency are
+    no-ops (not counted as transitions).  A frequency that is not an exact
+    level is clamped to the closest supported one, like the kernel does.
+    @raise Invalid_argument if [now] precedes the previous update. *)
+
+val transitions : t -> int
+
+val residency : t -> now:Sim_time.t -> (Frequency.mhz * Sim_time.t) list
+(** Total time spent at each level up to [now], ascending frequency order.
+    The sum equals [now]. *)
+
+val residency_ratio : t -> now:Sim_time.t -> Frequency.mhz -> float
+(** Fraction of elapsed time spent at the given level; 0 at time zero. *)
+
+val mean_frequency : t -> now:Sim_time.t -> float
+(** Residency-weighted average frequency in MHz; the current frequency at
+    time zero. *)

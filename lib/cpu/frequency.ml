@@ -1,0 +1,56 @@
+type mhz = int
+type table = { levels : mhz array }
+
+let create freqs =
+  if freqs = [] then invalid_arg "Frequency.create: empty table";
+  List.iter
+    (fun f -> if f <= 0 then invalid_arg "Frequency.create: non-positive frequency")
+    freqs;
+  let levels = List.sort_uniq Int.compare freqs in
+  { levels = Array.of_list levels }
+
+let levels t = Array.copy t.levels
+let count t = Array.length t.levels
+let min_freq t = t.levels.(0)
+let max_freq t = t.levels.(Array.length t.levels - 1)
+let mem t f = Array.exists (Int.equal f) t.levels
+
+let index_of t f =
+  let rec loop i =
+    if i >= Array.length t.levels then raise Not_found
+    else if t.levels.(i) = f then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let nth t i =
+  if i < 0 || i >= Array.length t.levels then invalid_arg "Frequency.nth: out of range";
+  t.levels.(i)
+
+let ratio t f =
+  if not (mem t f) then raise Not_found;
+  float_of_int f /. float_of_int (max_freq t)
+
+let closest t f =
+  let best = ref t.levels.(0) in
+  Array.iter
+    (fun level ->
+      let d = abs (level - f) and bd = abs (!best - f) in
+      if d < bd || (d = bd && level < !best) then best := level)
+    t.levels;
+  !best
+
+let next_up t f =
+  let i = index_of t f in
+  t.levels.(min (i + 1) (Array.length t.levels - 1))
+
+let next_down t f =
+  let i = index_of t f in
+  t.levels.(max (i - 1) 0)
+
+let pp ppf t =
+  Format.fprintf ppf "{%a} MHz"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    t.levels

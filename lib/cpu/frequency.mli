@@ -1,0 +1,45 @@
+(** Processor frequency tables (P-states).
+
+    Frequencies are in MHz.  A table is the ordered set of frequencies the
+    hardware supports — what the paper calls [Freq\[\]] with [Freq\[fmax\]] the
+    maximum (§4.2). *)
+
+type mhz = int
+
+type table
+
+val create : mhz list -> table
+(** Sorted ascending, duplicates removed.
+    @raise Invalid_argument on an empty list or non-positive frequency. *)
+
+val levels : table -> mhz array
+(** Ascending. *)
+
+val count : table -> int
+val min_freq : table -> mhz
+val max_freq : table -> mhz
+
+val mem : table -> mhz -> bool
+
+val index_of : table -> mhz -> int
+(** Position of a frequency in the ascending table.
+    @raise Not_found if the frequency is not a level of the table. *)
+
+val nth : table -> int -> mhz
+(** @raise Invalid_argument if out of range. *)
+
+val ratio : table -> mhz -> float
+(** [ratio t f] is [f / max_freq t] — the paper's [ratio_i].
+    @raise Not_found if [f] is not a level. *)
+
+val closest : table -> mhz -> mhz
+(** The supported level nearest to the requested frequency (ties go to the
+    lower level), for userspace-governor style requests. *)
+
+val next_up : table -> mhz -> mhz
+(** One level higher, saturating at the maximum. *)
+
+val next_down : table -> mhz -> mhz
+(** One level lower, saturating at the minimum. *)
+
+val pp : Format.formatter -> table -> unit

@@ -1,0 +1,48 @@
+type model = { v_min : float; v_max : float; idle_watts : float; max_watts : float }
+
+let model ?(v_min = 0.8) ?(v_max = 1.2) ~idle_watts ~max_watts () =
+  if not (v_min > 0.0 && v_max >= v_min) then invalid_arg "Power.model: bad voltage range";
+  if max_watts < idle_watts || idle_watts < 0.0 then
+    invalid_arg "Power.model: bad power range";
+  { v_min; v_max; idle_watts; max_watts }
+
+let of_arch (a : Arch.t) = model ~idle_watts:a.Arch.idle_watts ~max_watts:a.Arch.max_watts ()
+
+let voltage m table freq =
+  let fmin = float_of_int (Frequency.min_freq table)
+  and fmax = float_of_int (Frequency.max_freq table) in
+  if fmax = fmin then m.v_max
+  else m.v_min +. ((m.v_max -. m.v_min) *. (float_of_int freq -. fmin) /. (fmax -. fmin))
+
+let watts m table ~freq ~util =
+  let util = Float.max 0.0 (Float.min 1.0 util) in
+  let v = voltage m table freq in
+  let dyn_scale =
+    v *. v *. float_of_int freq /. (m.v_max *. m.v_max *. float_of_int (Frequency.max_freq table))
+  in
+  m.idle_watts +. ((m.max_watts -. m.idle_watts) *. util *. dyn_scale)
+
+let voltage_ratio m table freq = voltage m table freq /. m.v_max
+
+module Meter = struct
+  type t = {
+    model : model;
+    table : Frequency.table;
+    mutable joules : float;
+    mutable elapsed : Sim_time.t;
+  }
+
+  let create model table = { model; table; joules = 0.0; elapsed = Sim_time.zero }
+
+  let record t ~dt ~freq ~util =
+    let p = watts t.model t.table ~freq ~util in
+    t.joules <- t.joules +. (p *. Sim_time.to_sec dt);
+    t.elapsed <- Sim_time.add t.elapsed dt
+
+  let joules t = t.joules
+  let elapsed t = t.elapsed
+
+  let mean_watts t =
+    let secs = Sim_time.to_sec t.elapsed in
+    if secs = 0.0 then 0.0 else t.joules /. secs
+end

@@ -1,0 +1,40 @@
+(** Package power and energy accounting.
+
+    The standard CMOS approximation: dynamic power scales with [V^2 * f] and
+    utilization, on top of a static floor.  Voltage is modelled linear in
+    frequency between [v_min] and [v_max].  The model drives the energy
+    ablation experiments (the paper motivates PAS by energy but reports no
+    Joule figures, so this is an extension, not a reproduction target). *)
+
+type model
+
+val model :
+  ?v_min:float -> ?v_max:float -> idle_watts:float -> max_watts:float -> unit -> model
+(** Defaults: [v_min = 0.8], [v_max = 1.2] (volts, relative scale).
+    @raise Invalid_argument if [max_watts < idle_watts] or voltages are not
+    positive and ordered. *)
+
+val of_arch : Arch.t -> model
+
+val watts : model -> Frequency.table -> freq:Frequency.mhz -> util:float -> float
+(** Instantaneous package power at the given frequency and utilization
+    ([util] in [\[0,1\]], clamped). *)
+
+val voltage_ratio : model -> Frequency.table -> Frequency.mhz -> float
+(** [v(freq) / v_max] — used by the SMP model to scale per-core leakage
+    (static power is roughly proportional to voltage). *)
+
+module Meter : sig
+  type t
+
+  val create : model -> Frequency.table -> t
+
+  val record : t -> dt:Sim_time.t -> freq:Frequency.mhz -> util:float -> unit
+  (** Accumulates [watts * dt] for an interval during which frequency and
+      utilization were constant. *)
+
+  val joules : t -> float
+  val elapsed : t -> Sim_time.t
+  val mean_watts : t -> float
+  (** 0 before any interval is recorded. *)
+end

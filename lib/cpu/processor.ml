@@ -1,0 +1,29 @@
+type t = { arch : Arch.t; cpufreq : Cpufreq.t; meter : Power.Meter.t }
+
+let create ?init_freq arch =
+  let table = arch.Arch.freq_table in
+  let init = match init_freq with Some f -> f | None -> Frequency.max_freq table in
+  {
+    arch;
+    cpufreq = Cpufreq.create ~freq_table:table ~init;
+    meter = Power.Meter.create (Power.of_arch arch) table;
+  }
+
+let arch t = t.arch
+let freq_table t = t.arch.Arch.freq_table
+let cpufreq t = t.cpufreq
+let current_freq t = Cpufreq.current t.cpufreq
+let set_freq t ~now f = Cpufreq.set t.cpufreq ~now f
+let ratio_at t f = Frequency.ratio (freq_table t) f
+let cf_at t f = Calibration.cf t.arch.Arch.calibration (freq_table t) f
+let ratio t = ratio_at t (current_freq t)
+let cf t = cf_at t (current_freq t)
+let speed_at t f = ratio_at t f *. cf_at t f
+let speed t = speed_at t (current_freq t)
+let work_in t dt = speed t *. Sim_time.to_sec dt
+
+let record_power t ~dt ~util =
+  Power.Meter.record t.meter ~dt ~freq:(current_freq t) ~util
+
+let energy_joules t = Power.Meter.joules t.meter
+let mean_watts t = Power.Meter.mean_watts t.meter

@@ -1,0 +1,106 @@
+type policy = Per_core | Per_package
+
+type t = {
+  arch : Arch.t;
+  cores : int;
+  policy : policy;
+  domains : Cpufreq.t array; (* one per frequency domain *)
+  power : Power.model;
+  mutable joules : float;
+  mutable elapsed : Sim_time.t;
+}
+
+let create ?(policy = Per_package) ?init_freq ~cores arch =
+  if cores < 1 then invalid_arg "Smp.create: cores must be >= 1";
+  let table = arch.Arch.freq_table in
+  let init = match init_freq with Some f -> f | None -> Frequency.max_freq table in
+  let ndomains = match policy with Per_package -> 1 | Per_core -> cores in
+  {
+    arch;
+    cores;
+    policy;
+    domains = Array.init ndomains (fun _ -> Cpufreq.create ~freq_table:table ~init);
+    power = Power.of_arch arch;
+    joules = 0.0;
+    elapsed = Sim_time.zero;
+  }
+
+let arch t = t.arch
+let cores t = t.cores
+let policy t = t.policy
+let freq_table t = t.arch.Arch.freq_table
+let domain_count t = Array.length t.domains
+
+let domain_of_core t core =
+  if core < 0 || core >= t.cores then invalid_arg "Smp.domain_of_core: core out of range";
+  match t.policy with Per_package -> 0 | Per_core -> core
+
+let cores_of_domain t domain =
+  if domain < 0 || domain >= domain_count t then
+    invalid_arg "Smp.cores_of_domain: domain out of range";
+  match t.policy with
+  | Per_package -> List.init t.cores Fun.id
+  | Per_core -> [ domain ]
+
+let current_freq t ~domain =
+  if domain < 0 || domain >= domain_count t then
+    invalid_arg "Smp.current_freq: domain out of range";
+  Cpufreq.current t.domains.(domain)
+
+let set_freq t ~now ~domain freq =
+  if domain < 0 || domain >= domain_count t then
+    invalid_arg "Smp.set_freq: domain out of range";
+  Cpufreq.set t.domains.(domain) ~now freq
+
+let freq_of_core t core = Cpufreq.current t.domains.(domain_of_core t core)
+
+let speed_of_core t core =
+  let f = freq_of_core t core in
+  Calibration.effective_speed t.arch.Arch.calibration (freq_table t) f
+
+let total_capacity t =
+  let sum = ref 0.0 in
+  for core = 0 to t.cores - 1 do
+    sum := !sum +. speed_of_core t core
+  done;
+  !sum
+
+let max_capacity t = float_of_int t.cores
+
+let transitions t =
+  Array.fold_left (fun acc d -> acc + Cpufreq.transitions d) 0 t.domains
+
+let record_power t ~dt ~core_utils =
+  if Array.length core_utils <> t.cores then
+    invalid_arg "Smp.record_power: one utilization per core required";
+  (* Each core pays 1/cores of the package's static floor, scaled by its
+     voltage (leakage is roughly proportional to V), plus 1/cores of the
+     dynamic range scaled by its own V^2*f factor and utilization. *)
+  let table = freq_table t in
+  let per_core_static = t.arch.Arch.idle_watts /. float_of_int t.cores in
+  let per_core_range =
+    (t.arch.Arch.max_watts -. t.arch.Arch.idle_watts) /. float_of_int t.cores
+  in
+  let watts = ref 0.0 in
+  Array.iteri
+    (fun core util ->
+      let freq = freq_of_core t core in
+      let full = Power.watts t.power table ~freq ~util in
+      let fraction =
+        if t.arch.Arch.max_watts = t.arch.Arch.idle_watts then 0.0
+        else (full -. t.arch.Arch.idle_watts) /. (t.arch.Arch.max_watts -. t.arch.Arch.idle_watts)
+      in
+      watts :=
+        !watts
+        +. (per_core_static *. Power.voltage_ratio t.power table freq)
+        +. (fraction *. per_core_range))
+    core_utils;
+  let watts = !watts in
+  t.joules <- t.joules +. (watts *. Sim_time.to_sec dt);
+  t.elapsed <- Sim_time.add t.elapsed dt
+
+let energy_joules t = t.joules
+
+let mean_watts t =
+  let secs = Sim_time.to_sec t.elapsed in
+  if secs = 0.0 then 0.0 else t.joules /. secs

@@ -1,0 +1,62 @@
+(** Multi-core processor with per-core or per-package DVFS domains.
+
+    §7 of the paper lists "hyper-threading, multi-core, per-socket DVFS and
+    per-core DVFS" as the factors its single-processor prototype ignores;
+    this module provides the hardware model for exploring them.  A
+    processor has [cores] identical cores grouped into frequency domains:
+
+    - [Per_package]: one DVFS domain spans all cores (the i7-3770 of
+      Table 2 — which is why a single saturated core pins the whole
+      package at a high frequency);
+    - [Per_core]: every core scales independently (modern server parts).
+
+    Capacity conventions extend the single-core model: one core at maximum
+    frequency delivers 1.0 absolute work units per second, so the host's
+    total capacity is [cores] units/s and a credit of [c]% of the host
+    corresponds to [c/100 * cores] units/s. *)
+
+type policy = Per_core | Per_package
+
+type t
+
+val create : ?policy:policy -> ?init_freq:Frequency.mhz -> cores:int -> Arch.t -> t
+(** Default policy [Per_package]; initial frequency defaults to the
+    maximum.  @raise Invalid_argument if [cores < 1]. *)
+
+val arch : t -> Arch.t
+val cores : t -> int
+val policy : t -> policy
+val freq_table : t -> Frequency.table
+
+val domain_count : t -> int
+(** 1 under [Per_package], [cores] under [Per_core]. *)
+
+val domain_of_core : t -> int -> int
+(** @raise Invalid_argument on an out-of-range core. *)
+
+val cores_of_domain : t -> int -> int list
+
+val current_freq : t -> domain:int -> Frequency.mhz
+val set_freq : t -> now:Sim_time.t -> domain:int -> Frequency.mhz -> unit
+
+val freq_of_core : t -> int -> Frequency.mhz
+val speed_of_core : t -> int -> float
+(** [ratio * cf] of the core's current frequency. *)
+
+val total_capacity : t -> float
+(** Sum of all cores' current speeds, in absolute units/s. *)
+
+val max_capacity : t -> float
+(** [float cores] — the capacity with every domain at maximum frequency. *)
+
+val transitions : t -> int
+(** Total frequency transitions across all domains. *)
+
+val record_power : t -> dt:Sim_time.t -> core_utils:float array -> unit
+(** Accounts energy for an interval; [core_utils.(i)] is core [i]'s busy
+    fraction.  Power is the per-core model evaluated at each core's
+    frequency, with the static floor paid once per package.
+    @raise Invalid_argument if the array length differs from [cores]. *)
+
+val energy_joules : t -> float
+val mean_watts : t -> float

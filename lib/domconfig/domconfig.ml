@@ -1,0 +1,338 @@
+module Domain = Hypervisor.Domain
+module Host = Hypervisor.Host
+module Processor = Cpu_model.Processor
+
+type workload_spec =
+  | Idle
+  | Busy
+  | Web of {
+      rate : float;
+      from_s : float option;
+      until_s : float option;
+      timeout_s : float;
+      request_work : float;
+    }
+  | Pi of { work : float; duty : float }
+
+type domain_spec = {
+  name : string;
+  credit : float;
+  weight : int;
+  dom0 : bool;
+  vcpus : int;
+  workload : workload_spec;
+}
+
+type sched_spec = Credit | Sedf | Credit2 | Pas_sched
+type gov_spec = Performance | Powersave | Ondemand | Stable | Conservative | No_governor
+
+type t = {
+  arch : Cpu_model.Arch.t;
+  scheduler : sched_spec;
+  governor : gov_spec;
+  duration_s : float;
+  domains : domain_spec list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let ( let* ) = Result.bind
+
+let fail lineno fmt = Printf.ksprintf (fun msg -> Error (Printf.sprintf "line %d: %s" lineno msg)) fmt
+
+let split_pairs lineno tokens =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | token :: rest -> (
+        match String.index_opt token '=' with
+        | Some i when i > 0 ->
+            let key = String.sub token 0 i in
+            let value = String.sub token (i + 1) (String.length token - i - 1) in
+            loop ((key, value) :: acc) rest
+        | Some _ | None -> fail lineno "expected key=value, got %S" token)
+  in
+  loop [] tokens
+
+let lookup pairs key = List.assoc_opt key pairs
+
+let float_of lineno key value =
+  match float_of_string_opt value with
+  | Some f -> Ok f
+  | None -> fail lineno "key %s: %S is not a number" key value
+
+let int_of lineno key value =
+  match int_of_string_opt value with
+  | Some i -> Ok i
+  | None -> fail lineno "key %s: %S is not an integer" key value
+
+let bool_of lineno key value =
+  match String.lowercase_ascii value with
+  | "true" | "yes" | "1" -> Ok true
+  | "false" | "no" | "0" -> Ok false
+  | _ -> fail lineno "key %s: %S is not a boolean" key value
+
+let opt_default parse default = function None -> Ok default | Some v -> parse v
+let opt_map parse = function None -> Ok None | Some v -> Result.map Option.some (parse v)
+
+let check_known lineno allowed pairs =
+  match List.find_opt (fun (k, _) -> not (List.mem k allowed)) pairs with
+  | Some (k, _) -> fail lineno "unknown key %S (allowed: %s)" k (String.concat ", " allowed)
+  | None -> Ok ()
+
+let arch_of lineno value =
+  (* Tokens cannot contain spaces, so underscores stand for them in full
+     catalog names (pp_spec prints that form). *)
+  let despaced = String.map (function '_' -> ' ' | c -> c) value in
+  let shorthand =
+    match String.lowercase_ascii value with
+    | "optiplex-755" | "optiplex" -> Some Cpu_model.Arch.optiplex_755
+    | "elite-8300" | "i7-3770" -> Some Cpu_model.Arch.elite_8300
+    | _ -> ( match Cpu_model.Arch.find value with
+             | Some a -> Some a
+             | None -> Cpu_model.Arch.find despaced)
+  in
+  match shorthand with
+  | Some a -> Ok a
+  | None -> fail lineno "unknown architecture %S" value
+
+let sched_of lineno value =
+  match String.lowercase_ascii value with
+  | "credit" -> Ok Credit
+  | "sedf" -> Ok Sedf
+  | "credit2" -> Ok Credit2
+  | "pas" -> Ok Pas_sched
+  | _ -> fail lineno "unknown scheduler %S" value
+
+let gov_of lineno value =
+  match String.lowercase_ascii value with
+  | "performance" -> Ok Performance
+  | "powersave" -> Ok Powersave
+  | "ondemand" -> Ok Ondemand
+  | "stable" | "stable-ondemand" -> Ok Stable
+  | "conservative" -> Ok Conservative
+  | "none" -> Ok No_governor
+  | _ -> fail lineno "unknown governor %S" value
+
+let parse_host lineno pairs host =
+  let* () =
+    check_known lineno [ "arch"; "scheduler"; "governor"; "duration" ] pairs
+  in
+  let* arch = opt_default (arch_of lineno) host.arch (lookup pairs "arch" |> Option.map Fun.id)
+  in
+  let* scheduler = opt_default (sched_of lineno) host.scheduler (lookup pairs "scheduler") in
+  let* governor = opt_default (gov_of lineno) host.governor (lookup pairs "governor") in
+  let* duration_s =
+    opt_default (float_of lineno "duration") host.duration_s (lookup pairs "duration")
+  in
+  if duration_s <= 0.0 then fail lineno "duration must be positive"
+  else Ok { host with arch; scheduler; governor; duration_s }
+
+let parse_workload lineno pairs =
+  match Option.map String.lowercase_ascii (lookup pairs "workload") with
+  | None | Some "idle" -> Ok Idle
+  | Some "busy" -> Ok Busy
+  | Some "web" ->
+      let* rate =
+        match lookup pairs "rate" with
+        | Some v -> float_of lineno "rate" v
+        | None -> fail lineno "web workload requires rate="
+      in
+      let* from_s = opt_map (float_of lineno "from") (lookup pairs "from") in
+      let* until_s = opt_map (float_of lineno "until") (lookup pairs "until") in
+      let* timeout_s = opt_default (float_of lineno "timeout") 10.0 (lookup pairs "timeout") in
+      let* request_work =
+        opt_default (float_of lineno "request_work") 0.005 (lookup pairs "request_work")
+      in
+      Ok (Web { rate; from_s; until_s; timeout_s; request_work })
+  | Some "pi" ->
+      let* work =
+        match lookup pairs "work" with
+        | Some v -> float_of lineno "work" v
+        | None -> fail lineno "pi workload requires work="
+      in
+      let* duty = opt_default (float_of lineno "duty") 1.0 (lookup pairs "duty") in
+      Ok (Pi { work; duty })
+  | Some other -> fail lineno "unknown workload %S" other
+
+let parse_domain lineno pairs =
+  let* () =
+    check_known lineno
+      [ "name"; "credit"; "weight"; "dom0"; "vcpus"; "workload"; "rate"; "from"; "until";
+        "timeout"; "request_work"; "work"; "duty" ]
+      pairs
+  in
+  let* name =
+    match lookup pairs "name" with
+    | Some n -> Ok n
+    | None -> fail lineno "domain requires name="
+  in
+  let* credit =
+    match lookup pairs "credit" with
+    | Some v -> float_of lineno "credit" v
+    | None -> fail lineno "domain requires credit="
+  in
+  let* weight = opt_default (int_of lineno "weight") 256 (lookup pairs "weight") in
+  let* dom0 = opt_default (bool_of lineno "dom0") false (lookup pairs "dom0") in
+  let* vcpus = opt_default (int_of lineno "vcpus") 1 (lookup pairs "vcpus") in
+  let* workload = parse_workload lineno pairs in
+  Ok { name; credit; weight; dom0; vcpus; workload }
+
+let default_host =
+  {
+    arch = Cpu_model.Arch.optiplex_755;
+    scheduler = Credit;
+    governor = Stable;
+    duration_s = 600.0;
+    domains = [];
+  }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop lineno host domains = function
+    | [] -> (
+        match domains with
+        | [] -> Error "no domain directives found"
+        | _ -> Ok { host with domains = List.rev domains })
+    | line :: rest -> (
+        let line = match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let tokens =
+          String.split_on_char ' ' (String.trim line)
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> s <> "")
+        in
+        match tokens with
+        | [] -> loop (lineno + 1) host domains rest
+        | "host" :: pairs_tokens ->
+            let* pairs = split_pairs lineno pairs_tokens in
+            let* host = parse_host lineno pairs host in
+            loop (lineno + 1) host domains rest
+        | "domain" :: pairs_tokens ->
+            let* pairs = split_pairs lineno pairs_tokens in
+            let* dom = parse_domain lineno pairs in
+            if List.exists (fun d -> String.equal d.name dom.name) domains then
+              fail lineno "duplicate domain name %S" dom.name
+            else loop (lineno + 1) host (dom :: domains) rest
+        | directive :: _ -> fail lineno "unknown directive %S" directive)
+  in
+  loop 1 default_host [] lines
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Building *)
+
+type app = App_none | App_web of Workloads.Web_app.t | App_pi of Workloads.Pi_app.t
+
+type built = {
+  sim : Simulator.t;
+  host : Hypervisor.Host.t;
+  domains : (domain_spec * Hypervisor.Domain.t * app) list;
+  pas : Pas.Pas_sched.t option;
+  duration : Sim_time.t;
+}
+
+let build_workload spec =
+  match spec.workload with
+  | Idle -> (Workloads.Workload.idle (), App_none)
+  | Busy -> (Workloads.Workload.busy_loop (), App_none)
+  | Web { rate; from_s; until_s; timeout_s; request_work } ->
+      let schedule =
+        match (from_s, until_s) with
+        | None, None -> Workloads.Phases.constant ~rate
+        | from_s, until_s ->
+            let active_from =
+              Sim_time.max (Sim_time.of_us 1)
+                (Sim_time.of_sec_f (Option.value from_s ~default:0.0))
+            in
+            let active_until = Sim_time.of_sec_f (Option.value until_s ~default:1e9) in
+            Workloads.Phases.three_phase ~active_from ~active_until ~rate
+      in
+      let app =
+        Workloads.Web_app.create ~request_work ~timeout:(Sim_time.of_sec_f timeout_s)
+          ~rate_schedule:schedule ()
+      in
+      (Workloads.Web_app.workload app, App_web app)
+  | Pi { work; duty } ->
+      let app = Workloads.Pi_app.create ~duty_cycle:duty ~work () in
+      (Workloads.Pi_app.workload app, App_pi app)
+
+let build t =
+  let sim = Simulator.create () in
+  let processor = Processor.create t.arch in
+  let domains =
+    List.map
+      (fun spec ->
+        let workload, app = build_workload spec in
+        ( spec,
+          Domain.create ~weight:spec.weight ~is_dom0:spec.dom0 ~vcpus:spec.vcpus
+            ~name:spec.name ~credit_pct:spec.credit workload,
+          app ))
+      t.domains
+  in
+  let plain = List.map (fun (_, d, _) -> d) domains in
+  let scheduler, pas =
+    match t.scheduler with
+    | Credit -> (Sched_credit.create plain, None)
+    | Sedf -> (Sched_sedf.create plain, None)
+    | Credit2 -> (Sched_credit2.create plain, None)
+    | Pas_sched ->
+        let p = Pas.Pas_sched.create ~processor plain in
+        (Pas.Pas_sched.scheduler p, Some p)
+  in
+  let governor =
+    match t.governor with
+    | Performance -> Some (Governors.Governor.performance processor)
+    | Powersave -> Some (Governors.Governor.powersave processor)
+    | Ondemand -> Some (Governors.Ondemand.create processor)
+    | Stable -> Some (Governors.Stable_ondemand.create processor)
+    | Conservative -> Some (Governors.Conservative.create processor)
+    | No_governor -> None
+  in
+  let host = Host.create ~sim ~processor ~scheduler ?governor () in
+  { sim; host; domains; pas; duration = Sim_time.of_sec_f t.duration_s }
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let sched_name = function
+  | Credit -> "credit"
+  | Sedf -> "sedf"
+  | Credit2 -> "credit2"
+  | Pas_sched -> "pas"
+
+let gov_name = function
+  | Performance -> "performance"
+  | Powersave -> "powersave"
+  | Ondemand -> "ondemand"
+  | Stable -> "stable"
+  | Conservative -> "conservative"
+  | No_governor -> "none"
+
+let pp_workload ppf = function
+  | Idle -> Format.fprintf ppf "workload=idle"
+  | Busy -> Format.fprintf ppf "workload=busy"
+  | Web { rate; from_s; until_s; timeout_s; request_work } ->
+      Format.fprintf ppf "workload=web rate=%g" rate;
+      Option.iter (Format.fprintf ppf " from=%g") from_s;
+      Option.iter (Format.fprintf ppf " until=%g") until_s;
+      Format.fprintf ppf " timeout=%g request_work=%g" timeout_s request_work
+  | Pi { work; duty } -> Format.fprintf ppf "workload=pi work=%g duty=%g" work duty
+
+let pp_spec ppf t =
+  let arch_token = String.map (function ' ' -> '_' | c -> c) t.arch.Cpu_model.Arch.name in
+  Format.fprintf ppf "host arch=%s scheduler=%s governor=%s duration=%g@."
+    arch_token (sched_name t.scheduler) (gov_name t.governor) t.duration_s;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "domain name=%s credit=%g weight=%d%s vcpus=%d %a@." d.name d.credit
+        d.weight
+        (if d.dom0 then " dom0=true" else "")
+        d.vcpus pp_workload d.workload)
+    t.domains

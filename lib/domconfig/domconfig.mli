@@ -1,0 +1,86 @@
+(** An [xl.cfg]-style textual configuration for simulated hosts.
+
+    Xen administrators describe domains in small key=value config files;
+    this module provides the equivalent for the simulator so scenarios can
+    be written, versioned and replayed without recompiling.  Format:
+
+    {v
+# comments start with '#'
+host arch=optiplex-755 scheduler=pas governor=none duration=600
+
+domain name=Dom0  credit=10 dom0=true workload=idle
+domain name=V20   credit=20 workload=web rate=0.2 from=50 until=500
+domain name=V70   credit=70 workload=pi  work=100 duty=0.5
+    v}
+
+    Directives: one [host] line (anywhere; defaults apply if absent) and
+    one [domain] line per domain.  Unknown keys are errors — typos in a
+    config should never be silently ignored.
+
+    Keys: [host]: [arch] (a {!Cpu_model.Arch.find} name or the shorthands
+    [optiplex-755] / [elite-8300]), [scheduler] ([credit]|[sedf]|[credit2]|
+    [pas]), [governor] ([performance]|[powersave]|[ondemand]|[stable]|
+    [conservative]|[none]), [duration] (seconds).
+    [domain]: [name], [credit] (percent), [weight], [dom0] (bool), [vcpus],
+    [workload] ([idle]|[busy]|[web]|[pi]) plus per-workload keys: web —
+    [rate] (absolute work/s), [from]/[until] (s, optional active window),
+    [timeout] (s, default 10), [request_work] (s); pi — [work] (absolute
+    s), [duty] (0–1]. *)
+
+type workload_spec =
+  | Idle
+  | Busy
+  | Web of {
+      rate : float;
+      from_s : float option;
+      until_s : float option;
+      timeout_s : float;
+      request_work : float;
+    }
+  | Pi of { work : float; duty : float }
+
+type domain_spec = {
+  name : string;
+  credit : float;
+  weight : int;
+  dom0 : bool;
+  vcpus : int;
+  workload : workload_spec;
+}
+
+type sched_spec = Credit | Sedf | Credit2 | Pas_sched
+type gov_spec = Performance | Powersave | Ondemand | Stable | Conservative | No_governor
+
+type t = {
+  arch : Cpu_model.Arch.t;
+  scheduler : sched_spec;
+  governor : gov_spec;
+  duration_s : float;
+  domains : domain_spec list;
+}
+
+val parse : string -> (t, string) result
+(** Parses a whole configuration; the error string carries the offending
+    line number. *)
+
+val parse_file : string -> (t, string) result
+
+type app = App_none | App_web of Workloads.Web_app.t | App_pi of Workloads.Pi_app.t
+(** Handle to the concrete workload behind a domain, for reporting (request
+    statistics, pi execution times). *)
+
+type built = {
+  sim : Simulator.t;
+  host : Hypervisor.Host.t;
+  domains : (domain_spec * Hypervisor.Domain.t * app) list;
+  pas : Pas.Pas_sched.t option;
+  duration : Sim_time.t;
+}
+
+val build : t -> built
+(** Instantiates processor, workloads, domains, scheduler and governor.
+    Does not run the simulation — call
+    [Hypervisor.Host.run_for built.host built.duration]. *)
+
+val pp_spec : Format.formatter -> t -> unit
+(** Round-trippable rendering of a parsed configuration. *)

@@ -1,0 +1,87 @@
+type t = {
+  width : int;
+  height : int;
+  y_min : float option;
+  y_max : float option;
+  title : string;
+  mutable members : Series.t list;
+}
+
+let markers = [| '*'; '+'; 'o'; '#'; '@'; '%'; '&'; '=' |]
+
+let create ?(width = 72) ?(height = 16) ?y_min ?y_max ~title () =
+  if width < 8 || height < 4 then invalid_arg "Plot.create: grid too small";
+  { width; height; y_min; y_max; title; members = [] }
+
+let add t s = t.members <- t.members @ [ s ]
+
+let data_bounds t =
+  let lo = ref infinity and hi = ref neg_infinity in
+  let t_lo = ref max_int and t_hi = ref 0 in
+  List.iter
+    (fun s ->
+      Array.iter (fun v -> if v < !lo then lo := v; if v > !hi then hi := v) (Series.values s);
+      Array.iter
+        (fun time ->
+          if time < !t_lo then t_lo := time;
+          if time > !t_hi then t_hi := time)
+        (Series.times s))
+    t.members;
+  if !lo > !hi then (0.0, 1.0, 0, 1) else (!lo, !hi, !t_lo, max !t_hi (!t_lo + 1))
+
+let render t =
+  let d_lo, d_hi, t_lo, t_hi = data_bounds t in
+  let y_lo = match t.y_min with Some v -> v | None -> d_lo in
+  let y_hi = match t.y_max with Some v -> v | None -> d_hi in
+  let y_hi = if y_hi -. y_lo < 1.0 then y_lo +. 1.0 else y_hi in
+  let grid = Array.make_matrix t.height t.width ' ' in
+  let plot_row v =
+    let frac = (v -. y_lo) /. (y_hi -. y_lo) in
+    let r = int_of_float (Float.round (frac *. float_of_int (t.height - 1))) in
+    (t.height - 1) - max 0 (min (t.height - 1) r)
+  in
+  let plot_col time =
+    let frac = float_of_int (time - t_lo) /. float_of_int (t_hi - t_lo) in
+    max 0 (min (t.width - 1) (int_of_float (Float.round (frac *. float_of_int (t.width - 1)))))
+  in
+  List.iteri
+    (fun si s ->
+      let m = markers.(si mod Array.length markers) in
+      let times = Series.times s and values = Series.values s in
+      (* Sample the series once per column to keep long runs readable. *)
+      for col = 0 to t.width - 1 do
+        let time =
+          t_lo + (col * (t_hi - t_lo) / max 1 (t.width - 1))
+        in
+        match Series.value_at s time with
+        | Some v -> grid.(plot_row v).(col) <- m
+        | None -> ()
+      done;
+      Array.iteri (fun i time -> grid.(plot_row values.(i)).(plot_col time) <- m) times)
+    t.members;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun si s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c %s" markers.(si mod Array.length markers) (Series.name s)))
+    t.members;
+  if t.members <> [] then Buffer.add_char buf '\n';
+  for r = 0 to t.height - 1 do
+    let v = y_hi -. (float_of_int r /. float_of_int (t.height - 1) *. (y_hi -. y_lo)) in
+    Buffer.add_string buf (Printf.sprintf "%8.1f |" v);
+    Buffer.add_string buf (String.init t.width (fun c -> grid.(r).(c)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make 9 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make t.width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%9s %-10.1f%*s%.1f (s)\n" "" (Sim_time.to_sec t_lo)
+       (t.width - 14) ""
+       (Sim_time.to_sec t_hi));
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)

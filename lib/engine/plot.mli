@@ -1,0 +1,17 @@
+(** ASCII line plots of time series.
+
+    Renders one or more series over a shared time axis in a fixed-size
+    character grid — enough to eyeball the shape of every figure of the paper
+    directly in a terminal; exact values go to CSV via {!Series.Frame}. *)
+
+type t
+
+val create : ?width:int -> ?height:int -> ?y_min:float -> ?y_max:float -> title:string -> unit -> t
+(** Defaults: 72x16 grid.  When [y_min]/[y_max] are omitted the range adapts
+    to the data (with a minimum span of 1.0). *)
+
+val add : t -> Series.t -> unit
+(** Each series is drawn with the next marker of [*+o#@%&=]. *)
+
+val render : t -> string
+val pp : Format.formatter -> t -> unit

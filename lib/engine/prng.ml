@@ -1,0 +1,73 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = mix64 (next_int64 t) }
+let copy t = { state = t.state }
+
+(* A float uniform in [0,1) built from the top 53 bits. *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound =
+  if not (bound > 0.0) then invalid_arg "Prng.float: bound must be positive";
+  unit_float t *. bound
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.uniform: hi < lo";
+  lo +. (unit_float t *. (hi -. lo))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free for our purposes: bias is negligible for bounds << 2^64. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let exponential t ~rate =
+  if not (rate > 0.0) then invalid_arg "Prng.exponential: rate must be positive";
+  -.log1p (-.unit_float t) /. rate
+
+let pareto t ~shape ~scale =
+  if not (shape > 0.0 && scale > 0.0) then invalid_arg "Prng.pareto: parameters must be positive";
+  scale /. ((1.0 -. unit_float t) ** (1.0 /. shape))
+
+let gaussian t ~mean ~stddev =
+  let u1 = 1.0 -. unit_float t in
+  let u2 = unit_float t in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let poisson t ~mean =
+  if mean < 0.0 then invalid_arg "Prng.poisson: negative mean";
+  if mean = 0.0 then 0
+  else if mean > 60.0 then
+    (* Normal approximation; adequate for load generation. *)
+    Stdlib.max 0 (int_of_float (Float.round (gaussian t ~mean ~stddev:(sqrt mean))))
+  else begin
+    let limit = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. unit_float t in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

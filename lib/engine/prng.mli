@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    The simulator never uses the global [Random] state: every stochastic
+    component owns a [Prng.t] seeded explicitly, so that experiments are
+    reproducible bit-for-bit and independent streams can be split off for
+    unrelated components. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent stream derived from (and advancing) [t]. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> bool
+
+val exponential : t -> rate:float -> float
+(** Exponentially-distributed variate with the given rate (mean [1/rate]). *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto variate, heavy-tailed; used for bursty request sizes. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box-Muller normal variate. *)
+
+val poisson : t -> mean:float -> int
+(** Poisson-distributed count.  Uses Knuth's method for small means and a
+    normal approximation above 60 to stay O(1). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

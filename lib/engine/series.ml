@@ -1,0 +1,105 @@
+type t = { name : string; times : int Vec.t; values : Vec.Floats.t }
+
+let create ~name = { name; times = Vec.create (); values = Vec.Floats.create () }
+let name t = t.name
+let length t = Vec.length t.times
+
+let add t time value =
+  (match Vec.last t.times with
+  | Some prev when Sim_time.compare time prev < 0 ->
+      invalid_arg "Series.add: non-monotonic time"
+  | Some _ | None -> ());
+  Vec.push t.times time;
+  Vec.Floats.push t.values value
+
+let times t = Vec.to_array t.times
+let values t = Vec.Floats.to_array t.values
+let get t i = (Vec.get t.times i, Vec.Floats.get t.values i)
+
+let last_value t =
+  let n = length t in
+  if n = 0 then None else Some (Vec.Floats.get t.values (n - 1))
+
+(* Index of the latest sample at or before [time], by binary search. *)
+let index_at t time =
+  let n = length t in
+  if n = 0 || Sim_time.compare (Vec.get t.times 0) time > 0 then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if Sim_time.compare (Vec.get t.times mid) time <= 0 then lo := mid else hi := mid - 1
+    done;
+    Some !lo
+  end
+
+let value_at t time =
+  match index_at t time with None -> None | Some i -> Some (Vec.Floats.get t.values i)
+
+let mean t = Vec.Floats.mean t.values
+
+let mean_between t t0 t1 =
+  let sum = ref 0.0 and n = ref 0 in
+  for i = 0 to length t - 1 do
+    let time = Vec.get t.times i in
+    if Sim_time.compare time t0 >= 0 && Sim_time.compare time t1 <= 0 then begin
+      sum := !sum +. Vec.Floats.get t.values i;
+      incr n
+    end
+  done;
+  if !n = 0 then 0.0 else !sum /. float_of_int !n
+
+let map_values f t =
+  let out = create ~name:t.name in
+  for i = 0 to length t - 1 do
+    add out (Vec.get t.times i) (f (Vec.Floats.get t.values i))
+  done;
+  out
+
+module Frame = struct
+  type series = t
+  type t = { time_label : string; mutable members : series list }
+
+  let create ?(time_label = "time_s") () = { time_label; members = [] }
+  let add_series t s = t.members <- t.members @ [ s ]
+  let series t = t.members
+
+  let all_times t =
+    let module S = Set.Make (Int) in
+    let set =
+      List.fold_left
+        (fun acc s ->
+          Array.fold_left (fun acc time -> S.add time acc) acc (times s))
+        S.empty t.members
+    in
+    S.elements set
+
+  let to_csv t =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf t.time_label;
+    List.iter
+      (fun s ->
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (name s))
+      t.members;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun time ->
+        Buffer.add_string buf (Printf.sprintf "%.6f" (Sim_time.to_sec time));
+        List.iter
+          (fun s ->
+            Buffer.add_char buf ',';
+            match value_at s time with
+            | Some v -> Buffer.add_string buf (Printf.sprintf "%.6f" v)
+            | None -> Buffer.add_string buf "")
+          t.members;
+        Buffer.add_char buf '\n')
+      (all_times t);
+    Buffer.contents buf
+
+  let save_csv t path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_csv t))
+end

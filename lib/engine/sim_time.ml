@@ -1,0 +1,38 @@
+type t = int
+
+let zero = 0
+
+let of_us n =
+  if n < 0 then invalid_arg "Sim_time.of_us: negative duration";
+  n
+
+let of_ms n = of_us (n * 1_000)
+let of_sec n = of_us (n * 1_000_000)
+
+let of_sec_f s =
+  if Float.is_nan s || s < 0.0 then invalid_arg "Sim_time.of_sec_f: negative";
+  int_of_float (Float.round (s *. 1e6))
+
+let to_us t = t
+let to_ms t = float_of_int t /. 1e3
+let to_sec t = float_of_int t /. 1e6
+let add a b = a + b
+
+let sub a b =
+  if a < b then invalid_arg "Sim_time.sub: negative result";
+  a - b
+
+let diff a b = abs (a - b)
+let ( + ) = add
+let ( - ) = sub
+let compare = Int.compare
+let equal = Int.equal
+let min = Stdlib.min
+let max = Stdlib.max
+
+let pp ppf t =
+  if t >= 1_000_000 then Format.fprintf ppf "%.3fs" (to_sec t)
+  else if t >= 1_000 then Format.fprintf ppf "%.3fms" (to_ms t)
+  else Format.fprintf ppf "%dus" t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,73 @@
+type event = {
+  mutable time : Sim_time.t;
+  mutable seq : int;
+  mutable action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = { mutable clock : Sim_time.t; mutable next_seq : int; queue : event Heap.t }
+
+let cmp_event a b =
+  let c = Sim_time.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () = { clock = Sim_time.zero; next_seq = 0; queue = Heap.create ~cmp:cmp_event }
+let now t = t.clock
+
+let fresh_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+let at t time action =
+  if Sim_time.compare time t.clock < 0 then invalid_arg "Simulator.at: time is in the past";
+  let ev = { time; seq = fresh_seq t; action; cancelled = false } in
+  Heap.push t.queue ev;
+  ev
+
+let after t delay action = at t (Sim_time.add t.clock delay) action
+
+let every t ?start period action =
+  if Sim_time.equal period Sim_time.zero then invalid_arg "Simulator.every: zero period";
+  let start = match start with Some s -> s | None -> Sim_time.add t.clock period in
+  if Sim_time.compare start t.clock < 0 then invalid_arg "Simulator.every: start is in the past";
+  let cell = { time = start; seq = fresh_seq t; action = ignore; cancelled = false } in
+  (* One record is re-armed for every firing so a single handle controls the
+     whole periodic chain. *)
+  cell.action <-
+    (fun () ->
+      action ();
+      if not cell.cancelled then begin
+        cell.time <- Sim_time.add t.clock period;
+        cell.seq <- fresh_seq t;
+        Heap.push t.queue cell
+      end);
+  Heap.push t.queue cell;
+  cell
+
+let cancel _t handle = handle.cancelled <- true
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- Sim_time.max t.clock ev.time;
+      (* A re-armed periodic cell may sit in the heap with a stale position if
+         it was popped and pushed again; comparing the stored firing time with
+         the heap position is unnecessary because times only move forward. *)
+      if not ev.cancelled then ev.action ();
+      true
+
+let run_until t t_end =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | Some ev when Sim_time.compare ev.time t_end <= 0 -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- Sim_time.max t.clock t_end
+
+let run t = while step t do () done

@@ -1,0 +1,52 @@
+type align = Left | Right
+type row = Cells of string list | Rule
+type t = { headers : string list; aligns : align list; mutable rows : row list }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- t.rows @ [ Cells cells ]
+
+let add_rule t = t.rows <- t.rows @ [ Rule ]
+
+let render t =
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note cells = List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells in
+  note t.headers;
+  List.iter (function Cells cells -> note cells | Rule -> ()) t.rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else match align with Left -> s ^ String.make n ' ' | Right -> String.make n ' ' ^ s
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let emit_rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "-+-";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  emit_rule ();
+  List.iter (function Cells cells -> emit_cells cells | Rule -> emit_rule ()) t.rows;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)
+let cell_f v = Printf.sprintf "%.2f" v
+let cell_f1 v = Printf.sprintf "%.1f" v
+let cell_i v = string_of_int v

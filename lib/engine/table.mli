@@ -1,0 +1,25 @@
+(** Plain-text table rendering for experiment reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** @raise Invalid_argument on an empty column list. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the column count. *)
+
+val add_rule : t -> unit
+(** Inserts a horizontal separator before the next row. *)
+
+val render : t -> string
+val pp : Format.formatter -> t -> unit
+
+val cell_f : float -> string
+(** Standard numeric cell formatting: ["%.2f"]. *)
+
+val cell_f1 : float -> string
+(** ["%.1f"]. *)
+
+val cell_i : int -> string

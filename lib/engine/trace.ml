@@ -1,0 +1,42 @@
+type entry = { time : Sim_time.t; source : string; message : string }
+
+type t = {
+  capacity : int;
+  buffer : entry option array;
+  mutable head : int; (* next write slot *)
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buffer = Array.make capacity None; head = 0; count = 0; dropped = 0 }
+
+let record t ~time ~source message =
+  if t.count = t.capacity then t.dropped <- t.dropped + 1 else t.count <- t.count + 1;
+  t.buffer.(t.head) <- Some { time; source; message };
+  t.head <- (t.head + 1) mod t.capacity
+
+let recordf t ~time ~source fmt =
+  Format.kasprintf (fun msg -> record t ~time ~source msg) fmt
+
+let length t = t.count
+let dropped t = t.dropped
+
+let entries t =
+  let start = (t.head - t.count + t.capacity) mod t.capacity in
+  List.init t.count (fun i ->
+      match t.buffer.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let find t ~source = List.filter (fun e -> String.equal e.source source) (entries t)
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.head <- 0;
+  t.count <- 0;
+  t.dropped <- 0
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%a] %s: %s" Sim_time.pp e.time e.source e.message

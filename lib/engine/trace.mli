@@ -1,0 +1,27 @@
+(** Bounded in-memory event trace.
+
+    Components record notable transitions (frequency changes, credit updates,
+    phase switches); tests assert on the recorded sequence and the CLI can
+    dump it.  The buffer is bounded so multi-hour simulations cannot exhaust
+    memory — when full, the oldest entries are dropped. *)
+
+type entry = { time : Sim_time.t; source : string; message : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 65536 entries. *)
+
+val record : t -> time:Sim_time.t -> source:string -> string -> unit
+val recordf : t -> time:Sim_time.t -> source:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val length : t -> int
+val dropped : t -> int
+(** Number of entries evicted because the buffer was full. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val find : t -> source:string -> entry list
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit

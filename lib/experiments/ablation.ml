@@ -1,0 +1,166 @@
+module Domain = Hypervisor.Domain
+module Host = Hypervisor.Host
+module Processor = Cpu_model.Processor
+
+(* Mean shortfall of a domain's absolute load below its credit, over samples
+   in [lo, hi]. *)
+let deficit_between host domain lo hi =
+  let series = Host.series_domain_absolute_load host domain in
+  let credit = Domain.initial_credit domain in
+  let times = Series.times series and values = Series.values series in
+  let sum = ref 0.0 and n = ref 0 in
+  Array.iteri
+    (fun i time ->
+      if Sim_time.compare time lo >= 0 && Sim_time.compare time hi <= 0 then begin
+        sum := !sum +. Float.max 0.0 (credit -. values.(i));
+        incr n
+      end)
+    times;
+  if !n = 0 then 0.0 else !sum /. float_of_int !n
+
+(* The reactivity scenario: V20 thrashes from the start; V70 is active until
+   [switch], after which the host empties, the frequency drops, and the PAS
+   variant under test must promptly raise V20's credit. *)
+let implementation_run ~scale =
+  let t sec = Sim_time.of_sec_f (sec *. scale) in
+  let switch = t 600.0 and duration = t 1200.0 in
+  let run_variant name build =
+    let sim = Simulator.create () in
+    let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+    let v20_app =
+      Workloads.Web_app.create ~rate_schedule:(Workloads.Phases.constant ~rate:1.0) ()
+    in
+    let v20 = Domain.create ~name:"V20" ~credit_pct:20.0 (Workloads.Web_app.workload v20_app) in
+    let v70_app =
+      Workloads.Web_app.create
+        ~rate_schedule:
+          (Workloads.Phases.three_phase ~active_from:(Sim_time.of_us 1) ~active_until:switch
+             ~rate:0.70)
+        ()
+    in
+    let v70 = Domain.create ~name:"V70" ~credit_pct:70.0 (Workloads.Web_app.workload v70_app) in
+    let dom0 = Domain.create ~is_dom0:true ~name:"Dom0" ~credit_pct:10.0 (Workloads.Workload.idle ()) in
+    let domains = [ dom0; v20; v70 ] in
+    let scheduler, governor, arm_daemon = build sim processor domains in
+    let host = Host.create ~sim ~processor ~scheduler ?governor () in
+    arm_daemon host scheduler;
+    Host.run_for host duration;
+    let transition = deficit_between host v20 switch (t 660.0) in
+    let steady = deficit_between host v20 (t 660.0) (t 1150.0) in
+    (name, transition, steady)
+  in
+  let variants =
+    [
+      run_variant "in-hypervisor (100 ms)" (fun _sim processor domains ->
+          let pas = Pas.Pas_sched.create ~processor domains in
+          (Pas.Pas_sched.scheduler pas, None, fun _ _ -> ()));
+      run_variant "user-level credit-only (1 s)" (fun sim processor domains ->
+          let scheduler = Sched_credit.create domains in
+          let governor = Governors.Stable_ondemand.create processor in
+          ( scheduler,
+            Some governor,
+            fun _host sched ->
+              ignore (Pas.User_level.credit_manager ~sim ~processor ~scheduler:sched domains)
+          ));
+      run_variant "user-level credit+DVFS (500 ms)" (fun sim processor domains ->
+          let scheduler = Sched_credit.create domains in
+          let userspace = Governors.Userspace.create processor in
+          let governor = Governors.Userspace.governor userspace in
+          ( scheduler,
+            Some governor,
+            fun host sched ->
+              ignore
+                (Pas.User_level.full_manager ~sim ~processor ~scheduler:sched ~userspace
+                   ~utilization:(Host.utilization_probe host) domains) ));
+    ]
+  in
+  let summary =
+    Table.create
+      ~columns:
+        [
+          ("PAS implementation", Table.Left);
+          ("V20 deficit, 60 s after switch (pts)", Table.Right);
+          ("V20 deficit, steady state (pts)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, transition, steady) ->
+      Table.add_row summary [ name; Table.cell_f transition; Table.cell_f steady ])
+    variants;
+  {
+    Experiment.id = "ablation-impl";
+    title = "Reactivity of the three PAS implementation levels (§4.1)";
+    summary;
+    plots = [];
+    frames = [];
+    notes =
+      [
+        "V70 goes idle mid-run; the frequency drops and V20's credit must be recomputed.";
+        "expected: the in-hypervisor variant compensates fastest; user-level variants lag";
+      ];
+  }
+
+let energy_run ~scale =
+  let configs =
+    [
+      ("credit + performance", Scenario.Credit, Scenario.Performance);
+      ("credit + stock ondemand", Scenario.Credit, Scenario.Stock_ondemand);
+      ("credit + stable ondemand", Scenario.Credit, Scenario.Stable_ondemand);
+      ("credit2 + stable ondemand", Scenario.Credit2, Scenario.Stable_ondemand);
+      ("sedf + stable ondemand", Scenario.Sedf, Scenario.Stable_ondemand);
+      ("PAS", Scenario.Pas_scheduler, Scenario.No_governor);
+    ]
+  in
+  let summary =
+    Table.create
+      ~columns:
+        [
+          ("configuration", Table.Left);
+          ("energy (kJ)", Table.Right);
+          ("mean power (W)", Table.Right);
+          ("V20 deficit (pts)", Table.Right);
+          ("V70 deficit (pts)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, sched, gov) ->
+      let r = Scenario.run (Scenario.spec ~sched ~gov ~load:Scenario.Thrashing ~scale ()) in
+      Table.add_row summary
+        [
+          name;
+          Table.cell_f (Host.energy_joules (Scenario.host r) /. 1000.0);
+          Table.cell_f (Host.mean_watts (Scenario.host r));
+          Table.cell_f (Scenario.sla_deficit r (Scenario.v20 r));
+          Table.cell_f (Scenario.sla_deficit r (Scenario.v70 r));
+        ])
+    configs;
+  {
+    Experiment.id = "ablation-energy";
+    title = "Energy vs SLA compliance per scheduler/governor (thrashing profile)";
+    summary;
+    plots = [];
+    frames = [];
+    notes =
+      [
+        "expected: stock/stable ondemand save energy but starve V20 (fix credit);";
+        "SEDF/credit2 honour demand but burn energy; PAS achieves both goals";
+      ];
+  }
+
+let implementation =
+  {
+    Experiment.id = "ablation-impl";
+    title = "Reactivity of the three PAS implementation levels (§4.1)";
+    paper_ref = "§4.1";
+    run = implementation_run;
+  }
+
+let energy =
+  {
+    Experiment.id = "ablation-energy";
+    title = "Energy vs SLA compliance per scheduler/governor";
+    paper_ref = "§3.2 (motivation)";
+    run = energy_run;
+  }
+
+let all = [ implementation; energy ]

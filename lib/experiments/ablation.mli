@@ -1,0 +1,17 @@
+(** Ablation experiments beyond the paper's tables.
+
+    - {!implementation}: §4.1 describes three possible PAS implementations
+      (user-level credit management, user-level credit+DVFS management,
+      in-hypervisor) and argues the user-level ones "may lack reactivity".
+      This experiment provokes a frequency transition mid-run and measures
+      how much absolute capacity V20 loses under each variant.
+
+    - {!energy}: the paper motivates PAS by energy but reports no Joule
+      figures; this experiment runs the §5.3 profile under every
+      scheduler/governor combination and reports energy, mean power and
+      SLA deficits, showing PAS pairs credit-scheduler-level energy with
+      SEDF-level SLA compliance. *)
+
+val implementation : Experiment.t
+val energy : Experiment.t
+val all : Experiment.t list

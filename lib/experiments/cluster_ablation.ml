@@ -1,0 +1,124 @@
+module Manager = Cluster.Manager
+module Vm = Cluster.Vm
+module Web_app = Workloads.Web_app
+
+let duration_s = 1200.0
+
+(* name, credit %, memory MB, demand factor, activity window (s). *)
+let tenants =
+  [
+    ("t1", 20.0, 2048, 1.2, (0.0, 400.0));
+    ("t2", 15.0, 1024, 1.0, (0.0, 600.0));
+    ("t3", 10.0, 1024, 0.8, (200.0, 800.0));
+    ("t4", 20.0, 2048, 1.5, (400.0, 1000.0));
+    ("t5", 10.0, 1024, 0.5, (0.0, 1200.0));
+    ("t6", 15.0, 1024, 1.0, (600.0, 1200.0));
+    ("t7", 10.0, 1024, 2.0, (800.0, 1200.0));
+    ("t8", 5.0, 512, 1.0, (0.0, 1200.0));
+    ("t9", 20.0, 2048, 0.3, (0.0, 1200.0));
+    ("t10", 10.0, 1024, 1.0, (300.0, 900.0));
+  ]
+
+let build_vms ~scale =
+  List.map
+    (fun (name, credit, memory_mb, demand, (t0, t1)) ->
+      let rate = credit /. 100.0 *. demand in
+      let app =
+        Web_app.create ~timeout:(Sim_time.of_sec 10)
+          ~rate_schedule:
+            (Workloads.Phases.three_phase
+               ~active_from:(Sim_time.max (Sim_time.of_us 1) (Sim_time.of_sec_f (t0 *. scale)))
+               ~active_until:(Sim_time.of_sec_f (t1 *. scale))
+               ~rate)
+          ()
+      in
+      (app, Vm.create ~name ~credit_pct:credit ~memory_mb (Web_app.workload app)))
+    tenants
+
+let run_config (label, policy, rebalance_every) ~scale =
+  let sim = Simulator.create () in
+  let apps_vms = build_vms ~scale in
+  let vms = List.map snd apps_vms in
+  let manager =
+    Manager.create ~node_memory_mb:16_384 ~policy ~sim ~nodes:4 vms
+  in
+  (match rebalance_every with
+  | Some period -> Manager.auto_rebalance manager ~every:(Sim_time.of_sec_f (period *. scale))
+  | None -> ());
+  (* Sample the active-node count as the run progresses. *)
+  let active_samples = ref [] in
+  ignore
+    (Simulator.every sim
+       (Sim_time.of_sec_f (10.0 *. scale))
+       (fun () -> active_samples := Manager.active_nodes manager :: !active_samples));
+  Manager.run_for manager (Sim_time.of_sec_f (duration_s *. scale));
+  let injected =
+    List.fold_left (fun acc (app, _) -> acc +. Web_app.injected_work app) 0.0 apps_vms
+  in
+  let served =
+    List.fold_left (fun acc (app, _) -> acc +. Web_app.completed_work app) 0.0 apps_vms
+  in
+  let mean_active =
+    let n = List.length !active_samples in
+    if n = 0 then 0.0
+    else float_of_int (List.fold_left ( + ) 0 !active_samples) /. float_of_int n
+  in
+  ( label,
+    Manager.energy_joules manager /. 1000.0 /. scale,
+    mean_active,
+    Manager.migrations manager,
+    (if injected = 0.0 then 100.0 else served /. injected *. 100.0) )
+
+let run ~scale =
+  let configs =
+    [
+      ("static + performance (no DVFS)", Manager.No_dvfs, None);
+      ("static + stable ondemand", Manager.Credit_ondemand, None);
+      ("static + PAS nodes", Manager.Pas_nodes, None);
+      ("consolidating (100 s) + PAS nodes", Manager.Pas_nodes, Some 100.0);
+    ]
+  in
+  let summary =
+    Table.create
+      ~columns:
+        [
+          ("configuration", Table.Left);
+          ("fleet energy (kJ, normalised)", Table.Right);
+          ("mean active nodes", Table.Right);
+          ("migrations", Table.Right);
+          ("work served %", Table.Right);
+        ]
+  in
+  List.iter
+    (fun config ->
+      let label, energy, active, migrations, served = run_config config ~scale in
+      Table.add_row summary
+        [
+          label;
+          Table.cell_f energy;
+          Table.cell_f active;
+          string_of_int migrations;
+          Table.cell_f1 served;
+        ])
+    configs;
+  {
+    Experiment.id = "ablation-cluster";
+    title = "Consolidation x DVFS on a four-node fleet";
+    summary;
+    plots = [];
+    frames = [];
+    notes =
+      [
+        "memory-bound packing leaves nodes CPU-underloaded (2.3), so PAS nodes save";
+        "energy on top of consolidation; epoch rebalancing powers nodes off entirely";
+        "and keeps the served-work ratio (no tenant starves for its credit)";
+      ];
+  }
+
+let experiment =
+  {
+    Experiment.id = "ablation-cluster";
+    title = "Consolidation x DVFS on a four-node fleet";
+    paper_ref = "§2.3 and §7 (consolidation perspective)";
+    run;
+  }

@@ -1,0 +1,16 @@
+(** Hosting-center ablation (§2.3 + the §7 perspective).
+
+    Ten VMs with phase-shifted activity share a four-node fleet.  Because
+    memory binds first, even a perfectly consolidated fleet is
+    CPU-underloaded (§2.3) — so node-level DVFS still pays, and the two
+    techniques compose: consolidation turns whole nodes off, PAS trims the
+    frequency of the nodes that stay on without breaking any tenant's
+    credit.
+
+    Configurations: static placement with no DVFS / with the stable
+    ondemand governor / with PAS nodes, and epoch-based consolidation
+    (rebalance every 100 s) with PAS nodes.  Reported: fleet energy, mean
+    active nodes, migrations, and the fraction of injected work actually
+    served (the SLA proxy — under-provisioned tenants time out). *)
+
+val experiment : Experiment.t

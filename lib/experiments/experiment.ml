@@ -1,0 +1,31 @@
+type output = {
+  id : string;
+  title : string;
+  summary : Table.t;
+  plots : Plot.t list;
+  frames : (string * Series.Frame.t) list;
+  notes : string list;
+}
+
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  run : scale:float -> output;
+}
+
+let print ppf (o : output) =
+  Format.fprintf ppf "=== %s: %s ===@." o.id o.title;
+  Format.fprintf ppf "%a@." Table.pp o.summary;
+  List.iter (fun p -> Format.fprintf ppf "%a@." Plot.pp p) o.plots;
+  List.iter (fun n -> Format.fprintf ppf "note: %s@." n) o.notes;
+  Format.fprintf ppf "@."
+
+let save_csvs (o : output) ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun (stem, frame) ->
+      let path = Filename.concat dir (Printf.sprintf "%s-%s.csv" o.id stem) in
+      Series.Frame.save_csv frame path;
+      path)
+    o.frames

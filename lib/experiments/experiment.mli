@@ -1,0 +1,29 @@
+(** Uniform experiment interface.
+
+    Every reproduced table/figure is an {!t}: an identifier, the paper
+    reference, and a runner producing an {!output} (summary table, optional
+    ASCII plots of the figure's series, CSV frames, free-text notes with the
+    paper-vs-measured comparison). *)
+
+type output = {
+  id : string;
+  title : string;
+  summary : Table.t;
+  plots : Plot.t list;
+  frames : (string * Series.Frame.t) list;  (** (file stem, frame) *)
+  notes : string list;
+}
+
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;  (** e.g. "Fig. 5, §5.4" *)
+  run : scale:float -> output;
+}
+
+val print : Format.formatter -> output -> unit
+(** Renders title, summary table, plots and notes. *)
+
+val save_csvs : output -> dir:string -> string list
+(** Writes each frame as [dir/<id>-<stem>.csv] (creating [dir]); returns the
+    paths written. *)

@@ -1,0 +1,10 @@
+(** Fig. 1 (§5.2): compensation of a frequency reduction with a credit
+    allocation.
+
+    pi-app runs at the maximum frequency (2667 MHz) with initial credits 10,
+    20, …, 100; then at 2133 MHz with the credits computed by eq. (4)
+    ([C / (ratio * cf)], i.e. 13, 25, 38, …).  The two execution-time curves
+    must coincide — except where the compensated credit exceeds 100 %, which
+    a single CPU cannot deliver (the paper's top-axis values 113 and 125). *)
+
+val experiment : Experiment.t

@@ -1,0 +1,79 @@
+module Domain = Hypervisor.Domain
+module Host = Hypervisor.Host
+module Processor = Cpu_model.Processor
+module Closed_loop = Workloads.Closed_loop
+
+let batch_domains = 6
+
+let run_variant ~boost ~scale =
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let interactive_app =
+    Closed_loop.create ~clients:3 ~think_time:0.2 ~request_work:0.002 ()
+  in
+  let interactive =
+    Domain.create ~name:"interactive" ~credit_pct:10.0 (Closed_loop.workload interactive_app)
+  in
+  let batch =
+    List.init batch_domains (fun i ->
+        Domain.create
+          ~name:(Printf.sprintf "batch%d" i)
+          ~credit_pct:15.0
+          (Workloads.Workload.busy_loop ()))
+  in
+  let scheduler = Sched_credit.create ~boost (interactive :: batch) in
+  let host = Host.create ~sim ~processor ~scheduler () in
+  Host.run_for host (Sim_time.of_sec_f (Float.max 30.0 (300.0 *. scale)));
+  let stats = Closed_loop.response_times interactive_app in
+  let batch_share =
+    List.fold_left (fun acc d -> acc +. Sim_time.to_sec (Domain.cpu_time d)) 0.0 batch
+    /. Sim_time.to_sec (Host.now host)
+  in
+  ( Stats.Running.mean stats *. 1000.0,
+    Stats.Running.max stats *. 1000.0,
+    Stats.Running.count stats,
+    batch_share *. 100.0 )
+
+let run ~scale =
+  let summary =
+    Table.create
+      ~columns:
+        [
+          ("BOOST", Table.Left);
+          ("mean response (ms)", Table.Right);
+          ("max response (ms)", Table.Right);
+          ("requests", Table.Right);
+          ("batch share %", Table.Right);
+        ]
+  in
+  let rows =
+    [ ("enabled (Xen default)", true); ("disabled", false) ]
+  in
+  List.iter
+    (fun (label, boost) ->
+      let mean, worst, count, batch_share = run_variant ~boost ~scale in
+      Table.add_row summary
+        [ label; Table.cell_f mean; Table.cell_f worst; string_of_int count;
+          Table.cell_f1 batch_share ])
+    rows;
+  {
+    Experiment.id = "ablation-boost";
+    title = "Credit BOOST: wake-up latency vs a pack of batch domains";
+    summary;
+    plots = [];
+    frames = [];
+    notes =
+      [
+        "expected: BOOST cuts the interactive domain's response times by skipping";
+        "the round-robin queue on wake-up, while the batch domains' CPU share is";
+        "unchanged (fairness is preserved; only dispatch order moves)";
+      ];
+  }
+
+let experiment =
+  {
+    Experiment.id = "ablation-boost";
+    title = "Credit BOOST: wake-up latency";
+    paper_ref = "ref. [6] of the paper (Xen scheduler comparison)";
+    run;
+  }

@@ -1,0 +1,14 @@
+(** Scheduler wake-up latency ablation (id: [ablation-boost]).
+
+    The paper's reference [6] (Cherkasova et al., "Comparison of the three
+    CPU schedulers in Xen") is about exactly this: throughput-fair
+    schedulers can still have terrible I/O latency.  Xen's Credit scheduler
+    answers with BOOST — a freshly woken domain jumps the round-robin queue
+    for its next dispatch.
+
+    An interactive domain (closed-loop clients with think times) shares the
+    host with a pack of CPU-bound batch domains; we compare response-time
+    statistics with BOOST enabled (Xen default, and what PAS inherits) and
+    disabled.  Fairness is untouched either way — only latency moves. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,10 @@
+let all =
+  (Validation.experiment :: Fig1.experiment :: Profile.all)
+  @ [ Table1.experiment; Table2.experiment ]
+  @ Ablation.all
+  @ [ Smp_ablation.experiment; Cluster_ablation.experiment ]
+  @ Sweeps.all
+  @ [ Latency.experiment ]
+
+let find id = List.find_opt (fun e -> String.equal e.Experiment.id id) all
+let ids () = List.map (fun e -> e.Experiment.id) all

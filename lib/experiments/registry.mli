@@ -1,0 +1,8 @@
+(** All reproduced experiments, in the paper's order. *)
+
+val all : Experiment.t list
+
+val find : string -> Experiment.t option
+(** Lookup by experiment id (e.g. ["fig5"], ["table2"]). *)
+
+val ids : unit -> string list

@@ -1,0 +1,58 @@
+(** The paper's common experimental setup (§5.3).
+
+    Two VMs — V20 (20 % credit) and V70 (70 % credit) — plus Dom0 holding
+    the remaining 10 % with the highest priority, on the Optiplex 755.  Each
+    VM runs the Web-app under a three-phase inactive/active/inactive
+    profile; the active load is either {e exact} (100 % of the VM's
+    capacity) or {e thrashing} (exceeding it).
+
+    Default timeline (scaled by [scale]):
+    V20 active over [500 s, 5000 s), V70 over [2500 s, 7000 s), total
+    7500 s.  Phase A = V20 alone, phase B = both, phase C = V70 alone. *)
+
+type sched_kind = Credit | Sedf | Credit2 | Pas_scheduler
+type gov_kind = Performance | Stock_ondemand | Stable_ondemand | Powersave | No_governor
+type load_kind = Exact | Thrashing
+
+type spec = {
+  sched : sched_kind;
+  gov : gov_kind;
+  load : load_kind;
+  scale : float;  (** time compression: 1.0 = paper-length run *)
+}
+
+val spec :
+  ?sched:sched_kind -> ?gov:gov_kind -> ?load:load_kind -> ?scale:float -> unit -> spec
+(** Defaults: Credit scheduler, stable ondemand, exact load, scale 1.0. *)
+
+type phase = A | B | C
+
+type result
+
+val run : spec -> result
+
+val host : result -> Hypervisor.Host.t
+val v20 : result -> Hypervisor.Domain.t
+val v70 : result -> Hypervisor.Domain.t
+val dom0 : result -> Hypervisor.Domain.t
+val pas : result -> Pas.Pas_sched.t option
+val duration : result -> Sim_time.t
+
+val phase_bounds : result -> phase -> Sim_time.t * Sim_time.t
+(** The inner 80 % of each phase, so transients at phase switches do not
+    pollute the means. *)
+
+val phase_mean : result -> phase -> Series.t -> float
+
+val v20_load : result -> Series.t
+val v70_load : result -> Series.t
+val v20_absolute : result -> Series.t
+val v70_absolute : result -> Series.t
+val frequency : result -> Series.t
+
+val mean_frequency : result -> phase -> float
+
+val sla_deficit : result -> Hypervisor.Domain.t -> float
+(** Mean shortfall (in percentage points) of the domain's absolute load
+    below its credit, over the samples where the domain was active —
+    the QoS-violation measure motivating the paper. *)

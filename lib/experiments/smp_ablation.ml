@@ -1,0 +1,129 @@
+module Smp = Cpu_model.Smp
+module Smp_host = Hypervisor.Smp_host
+module Domain = Hypervisor.Domain
+
+let cores = 2
+let base_work = 120.0 (* absolute seconds *)
+
+type config = {
+  label : string;
+  policy : Smp.policy;
+  scheduler : [ `Fix_credit | `Work_conserving ];
+  dvfs : [ `Ondemand_max_core | `Performance | `Pas ];
+}
+
+let configs =
+  [
+    { label = "fix credit + perf (baseline)"; policy = Smp.Per_package;
+      scheduler = `Fix_credit; dvfs = `Performance };
+    { label = "fix credit + ondemand(max-core)"; policy = Smp.Per_package;
+      scheduler = `Fix_credit; dvfs = `Ondemand_max_core };
+    { label = "work-conserving + ondemand(max-core)"; policy = Smp.Per_package;
+      scheduler = `Work_conserving; dvfs = `Ondemand_max_core };
+    { label = "work-conserving + per-core ondemand"; policy = Smp.Per_core;
+      scheduler = `Work_conserving; dvfs = `Ondemand_max_core };
+    { label = "fix credit + PAS-SMP"; policy = Smp.Per_package;
+      scheduler = `Fix_credit; dvfs = `Pas };
+  ]
+
+let run_config c ~scale =
+  let sim = Simulator.create () in
+  let smp = Smp.create ~policy:c.policy ~cores Cpu_model.Arch.elite_8300 in
+  let pi = Workloads.Pi_app.create ~work:(base_work *. scale) () in
+  let v20 =
+    Domain.create ~vcpus:1 ~name:"V20" ~credit_pct:20.0 (Workloads.Pi_app.workload pi)
+  in
+  let v70 = Domain.create ~vcpus:1 ~name:"V70" ~credit_pct:70.0 (Workloads.Workload.idle ()) in
+  let dom0 =
+    Domain.create ~is_dom0:true ~name:"Dom0" ~credit_pct:10.0 (Workloads.Workload.idle ())
+  in
+  let domains = [ dom0; v20; v70 ] in
+  let scheduler =
+    match c.scheduler with
+    | `Fix_credit -> Sched_credit.create ~host_capacity:cores domains
+    | `Work_conserving -> Sched_credit2.create domains
+  in
+  let pas =
+    match c.dvfs with `Pas -> Some (Pas.Pas_smp.create ~smp ~scheduler domains) | _ -> None
+  in
+  let dvfs =
+    match c.dvfs with
+    | `Performance -> Smp_host.performance_policy smp
+    | `Ondemand_max_core -> Smp_host.ondemand_max_core smp ~period:(Sim_time.of_ms 100)
+    | `Pas -> Pas.Pas_smp.policy (Option.get pas)
+  in
+  let host = Smp_host.create ~sim ~smp ~scheduler ~dvfs () in
+  let limit = Sim_time.of_sec_f (4000.0 *. scale) in
+  let chunk = Sim_time.of_sec_f (Float.max 1.0 (5.0 *. scale)) in
+  let rec loop () =
+    if Workloads.Pi_app.finished pi then ()
+    else if Sim_time.compare (Smp_host.now host) limit >= 0 then
+      failwith ("Smp_ablation: pi-app did not finish under " ^ c.label)
+    else begin
+      Smp_host.run_for host chunk;
+      loop ()
+    end
+  in
+  loop ();
+  let exec_time =
+    match Workloads.Pi_app.execution_time pi with
+    | Some t -> Sim_time.to_sec t /. scale
+    | None -> assert false
+  in
+  let transitions = Smp.transitions smp in
+  (exec_time, Smp_host.mean_watts host, transitions)
+
+let run ~scale =
+  let summary =
+    Table.create
+      ~columns:
+        [
+          ("configuration", Table.Left);
+          ("V20 exec time (s)", Table.Right);
+          ("degradation %", Table.Right);
+          ("mean power (W)", Table.Right);
+          ("freq transitions", Table.Right);
+        ]
+  in
+  let baseline = ref None in
+  List.iter
+    (fun c ->
+      let t, watts, transitions = run_config c ~scale in
+      (match c.dvfs with `Performance -> baseline := Some t | _ -> ());
+      let degradation =
+        match (!baseline, c.scheduler) with
+        | Some b, `Fix_credit -> (t -. b) /. t *. 100.0
+        | _ -> 0.0
+      in
+      Table.add_row summary
+        [
+          c.label;
+          Table.cell_f t;
+          Table.cell_f1 degradation;
+          Table.cell_f1 watts;
+          string_of_int transitions;
+        ])
+    configs;
+  {
+    Experiment.id = "ablation-smp";
+    title = "Two-core host: the Table 2 mechanism, explicit";
+    summary;
+    plots = [];
+    frames = [];
+    notes =
+      [
+        "fix credit under max-core ondemand degrades (no core looks busy, package";
+        "clocks down); work-conserving compacts V20 onto one saturated core and the";
+        "package stays fast (Table 2's variable-credit column, ~2.5x faster);";
+        "PAS-SMP keeps the package slow with zero degradation; per-core DVFS";
+        "additionally idles the second core's clock";
+      ];
+  }
+
+let experiment =
+  {
+    Experiment.id = "ablation-smp";
+    title = "Two-core host: the Table 2 mechanism, explicit";
+    paper_ref = "§7 (multi-core / per-core DVFS perspective)";
+    run;
+  }

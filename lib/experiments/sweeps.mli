@@ -1,0 +1,17 @@
+(** Parameter sweeps over the design choices DESIGN.md calls out.
+
+    - {!pas_window}: the PAS evaluation window (the paper evaluates "at
+      each tick"; our default is 100 ms with 3-sample averaging).  Sweeps
+      30 ms – 1 s and measures how much of V20's guarantee is lost around a
+      load transition — quantifying the reactivity/overhead trade-off that
+      §4.1 discusses qualitatively.
+
+    - {!governor_sampling}: the stock ondemand sampling window (the paper
+      blames the governor's aggressiveness for Fig. 3's oscillation).
+      Sweeps 2 ms – 200 ms on the V20-alone scenario and reports frequency
+      transitions, V20's absolute load and energy — the full
+      stability/SLA/energy trade-off surface. *)
+
+val pas_window : Experiment.t
+val governor_sampling : Experiment.t
+val all : Experiment.t list

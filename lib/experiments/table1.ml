@@ -1,0 +1,63 @@
+module Arch = Cpu_model.Arch
+module Frequency = Cpu_model.Frequency
+
+let paper_values =
+  [
+    (Arch.xeon_x3440.Arch.name, 0.94867);
+    (Arch.xeon_l5420.Arch.name, 0.99903);
+    (Arch.xeon_e5_2620.Arch.name, 0.80338);
+    (Arch.opteron_6164_he.Arch.name, 0.99508);
+    (Arch.elite_8300.Arch.name, 0.86206);
+  ]
+
+let run ~scale =
+  let measure = Sim_time.of_sec_f (Float.max 20.0 (240.0 *. scale)) in
+  let summary =
+    Table.create
+      ~columns:
+        [
+          ("processor", Table.Left);
+          ("cf_min (paper)", Table.Right);
+          ("cf_min (measured)", Table.Right);
+          ("error %", Table.Right);
+        ]
+  in
+  List.iter
+    (fun arch ->
+      let fmin = Frequency.min_freq arch.Arch.freq_table in
+      (* Use a rate every architecture can absorb at its minimum frequency. *)
+      let rate = 0.10 in
+      let l_max =
+        Rig.measure_load ~arch ~freq:(Frequency.max_freq arch.Arch.freq_table) ~rate ~measure ()
+      in
+      let l_min = Rig.measure_load ~arch ~freq:fmin ~rate ~measure () in
+      let measured = l_max /. (l_min *. Frequency.ratio arch.Arch.freq_table fmin) in
+      let paper = List.assoc arch.Arch.name paper_values in
+      Table.add_row summary
+        [
+          arch.Arch.name;
+          Printf.sprintf "%.5f" paper;
+          Printf.sprintf "%.5f" measured;
+          Table.cell_f ((measured -. paper) /. paper *. 100.0);
+        ])
+    Arch.table1_machines;
+  {
+    Experiment.id = "table1";
+    title = "cf_min on different processors";
+    summary;
+    plots = [];
+    frames = [];
+    notes =
+      [
+        "the architecture models embed the paper's cf_min as their speed law;";
+        "this experiment validates that the measurement procedure of 5.2 recovers them";
+      ];
+  }
+
+let experiment =
+  {
+    Experiment.id = "table1";
+    title = "cf_min on different processors";
+    paper_ref = "Table 1, §5.8";
+    run;
+  }

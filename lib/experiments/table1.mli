@@ -1,0 +1,13 @@
+(** Table 1 (§5.8): [cf_min] on different processors.
+
+    For each of the five architectures the paper measured on Grid5000 and
+    the Elite 8300, run the §5.2 calibration procedure (load measurements at
+    maximum and minimum frequency under several Web-app workloads) and
+    recover [cf_min].  The measured values must match the published ones —
+    the architecture models embed them as ground truth (see DESIGN.md), so
+    this experiment validates the measurement procedure end-to-end. *)
+
+val experiment : Experiment.t
+
+val paper_values : (string * float) list
+(** Architecture name → the cf_min published in Table 1. *)

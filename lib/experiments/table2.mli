@@ -1,0 +1,18 @@
+(** Table 2 (§5.8): execution times on different virtualization platforms.
+
+    pi-app runs in V20 (20 % credit) while V70 (70 %) stays lazy, on the
+    Elite 8300 (i7-3770), for each platform profile under the performance
+    governor and under the platform's power management ("OnDemand" row).
+    The degradation is the paper's
+    [(T_ondemand - T_performance) / T_ondemand * 100].
+
+    Expected shape: the fix-credit platforms degrade heavily (paper:
+    Hyper-V 50 %, VMware 27 %, Xen/Credit 40 %), Xen/PAS cancels the
+    degradation, and the variable-credit platforms (Xen/SEDF, KVM, VBox) are
+    both much faster (the lazy V70's capacity flows to V20) and undegraded
+    — at the price of defeating DVFS. *)
+
+val experiment : Experiment.t
+
+val paper_times : (string * (float * float)) list
+(** Platform name → (performance, ondemand) execution times from Table 2. *)

@@ -1,0 +1,116 @@
+module Frequency = Cpu_model.Frequency
+
+let arch = Cpu_model.Arch.optiplex_755
+
+let run ~scale =
+  let table_dur = Sim_time.of_sec_f (Float.max 20.0 (240.0 *. scale)) in
+  let freq_table = arch.Cpu_model.Arch.freq_table in
+  let levels = Array.to_list (Frequency.levels freq_table) in
+  let rates = [ 0.05; 0.10; 0.15 ] in
+  (* Eq. (1): cf recovered from load measurements, per frequency and rate. *)
+  let eq1 =
+    Table.create
+      ~columns:
+        (("freq MHz", Table.Left)
+        :: List.map (fun r -> (Printf.sprintf "cf @ rate %.2f" r, Table.Right)) rates
+        @ [ ("model cf", Table.Right) ])
+  in
+  List.iter
+    (fun f ->
+      let cells =
+        List.map
+          (fun rate ->
+            let l_max =
+              Rig.measure_load ~arch ~freq:(Frequency.max_freq freq_table) ~rate
+                ~measure:table_dur ()
+            in
+            let l_i = Rig.measure_load ~arch ~freq:f ~rate ~measure:table_dur () in
+            Printf.sprintf "%.4f" (l_max /. (l_i *. Frequency.ratio freq_table f)))
+          rates
+      in
+      let model =
+        Cpu_model.Calibration.cf arch.Cpu_model.Arch.calibration freq_table f
+      in
+      Table.add_row eq1 ((string_of_int f :: cells) @ [ Printf.sprintf "%.4f" model ]))
+    levels;
+  (* Eq. (2): execution-time scaling across frequencies. *)
+  let work = Float.max 5.0 (100.0 *. scale) in
+  let eq2 =
+    Table.create
+      ~columns:
+        [
+          ("freq MHz", Table.Left);
+          ("T_i (s)", Table.Right);
+          ("T_i * ratio * cf", Table.Right);
+          ("T_max (s)", Table.Right);
+        ]
+  in
+  let t_max = Rig.run_pi ~arch ~freq:(Frequency.max_freq freq_table) ~work () in
+  List.iter
+    (fun f ->
+      let t_i = Rig.run_pi ~arch ~freq:f ~work () in
+      let ratio = Frequency.ratio freq_table f in
+      let cf = Cpu_model.Calibration.cf arch.Cpu_model.Arch.calibration freq_table f in
+      Table.add_row eq2
+        [
+          string_of_int f;
+          Table.cell_f t_i;
+          Table.cell_f (t_i *. ratio *. cf);
+          Table.cell_f t_max;
+        ])
+    levels;
+  (* Eq. (3): execution-time scaling across credits at max frequency. *)
+  let eq3 =
+    Table.create
+      ~columns:
+        [
+          ("credit %", Table.Left);
+          ("T_j (s)", Table.Right);
+          ("T_j * C_j / C_init", Table.Right);
+          ("T_init (s)", Table.Right);
+        ]
+  in
+  let t_init = Rig.run_pi ~arch ~credit:100.0 ~work () in
+  List.iter
+    (fun c ->
+      let t_j = Rig.run_pi ~arch ~credit:c ~work () in
+      Table.add_row eq3
+        [
+          Table.cell_f1 c;
+          Table.cell_f t_j;
+          Table.cell_f (t_j *. c /. 100.0);
+          Table.cell_f t_init;
+        ])
+    [ 10.0; 20.0; 40.0; 60.0; 80.0; 100.0 ];
+  (* Merge the three tables into one summary (they have different shapes, so
+     present eq1 as the summary and the others through notes + extra rows). *)
+  let summary =
+    Table.create ~columns:[ ("assumption", Table.Left); ("verdict", Table.Left) ]
+  in
+  Table.add_row summary
+    [ "eq (1): load ratio = ratio * cf"; "see cf columns below (constant across rates)" ];
+  Table.add_row summary
+    [ "eq (2): T_i = T_max / (ratio * cf)"; "T_i * ratio * cf ~= T_max at every level" ];
+  Table.add_row summary
+    [ "eq (3): T_j = T_init * C_init / C_j"; "T_j * C_j / C_init ~= T_init at every credit" ];
+  {
+    Experiment.id = "validation";
+    title = "Verification of the proportionality assumptions (§5.2)";
+    summary;
+    plots = [];
+    frames = [];
+    notes =
+      [
+        "eq (1) table:\n" ^ Table.render eq1;
+        "eq (2) table:\n" ^ Table.render eq2;
+        "eq (3) table:\n" ^ Table.render eq3;
+      ];
+  }
+
+let experiment =
+  {
+    Experiment.id = "validation";
+    title = "Verification of the proportionality assumptions (§5.2)";
+    paper_ref = "§5.2, eq. (1)-(3)";
+    run;
+  }

@@ -1,0 +1,11 @@
+(** §5.2 — verification of the two proportionality assumptions.
+
+    - Equation (1): for several Web-app workloads and every frequency of the
+      Optiplex, the recovered [cf = L_max / (L_i * ratio_i)] is constant
+      across workloads (and ~1 on this machine).
+    - Equation (2): pi-app execution times scale as [1 / (ratio * cf)]
+      across frequencies.
+    - Equation (3): pi-app execution times scale as [1 / credit] across
+      credit allocations at fixed frequency. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,15 @@
+(** The conservative governor (§2.2): "decreases or increases frequency by
+    one level through a range of values supported by the hardware, according
+    to the CPU load".  One threshold to climb, a lower one to descend —
+    never a jump.  Also used as the VMware-like profile in the Table 2
+    platform models (a power manager that follows load sluggishly and
+    therefore degrades a capped VM less than stock ondemand). *)
+
+val create :
+  ?period:Sim_time.t ->
+  ?up_threshold:float ->
+  ?down_threshold:float ->
+  Cpu_model.Processor.t ->
+  Governor.t
+(** Defaults: [period] 80 ms, [up_threshold] 0.8, [down_threshold] 0.3.
+    @raise Invalid_argument unless [0 < down_threshold < up_threshold <= 1]. *)

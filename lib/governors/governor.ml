@@ -1,0 +1,22 @@
+module Processor = Cpu_model.Processor
+module Frequency = Cpu_model.Frequency
+
+type t = {
+  name : string;
+  period : Sim_time.t;
+  observe : now:Sim_time.t -> busy_fraction:float -> unit;
+}
+
+let make ~name ~period ~observe =
+  if Sim_time.equal period Sim_time.zero then invalid_arg "Governor.make: zero period";
+  { name; period; observe }
+
+let pinned name processor target =
+  make ~name ~period:(Sim_time.of_sec 1) ~observe:(fun ~now ~busy_fraction:_ ->
+      Processor.set_freq processor ~now target)
+
+let performance processor =
+  pinned "performance" processor (Frequency.max_freq (Processor.freq_table processor))
+
+let powersave processor =
+  pinned "powersave" processor (Frequency.min_freq (Processor.freq_table processor))

@@ -1,0 +1,30 @@
+(** DVFS governors (paper §2.2).
+
+    A governor samples processor utilization periodically and sets the
+    frequency through the cpufreq driver.  The host feeds it the busy
+    fraction of each elapsed sampling window.
+
+    This module defines the governor type and the two trivial policies;
+    {!Ondemand}, {!Stable_ondemand}, {!Conservative} and {!Userspace}
+    implement the rest. *)
+
+type t = {
+  name : string;
+  period : Sim_time.t;  (** sampling window length *)
+  observe : now:Sim_time.t -> busy_fraction:float -> unit;
+      (** Called by the host at the end of every window with the fraction
+          of that window the processor was busy, in [\[0, 1\]]. *)
+}
+
+val make :
+  name:string ->
+  period:Sim_time.t ->
+  observe:(now:Sim_time.t -> busy_fraction:float -> unit) ->
+  t
+(** @raise Invalid_argument on a zero period. *)
+
+val performance : Cpu_model.Processor.t -> t
+(** Pins the maximum frequency (§2.2). *)
+
+val powersave : Cpu_model.Processor.t -> t
+(** Pins the minimum frequency. *)

@@ -1,0 +1,33 @@
+(** The stock ondemand governor.
+
+    §5.4 of the paper observes that "the default Ondemand governor is quite
+    aggressive and unstable" (Fig. 3).  The aggressiveness comes from its
+    short sampling window (Linux derives it from the transition latency; a
+    few milliseconds on the paper-era hardware) combined with its two-sided
+    rule evaluated on every window in isolation:
+
+    - if the window's utilization exceeds [up_threshold], jump straight to
+      the maximum frequency;
+    - otherwise drop to the lowest frequency that would keep the observed
+      absolute load below [up_threshold].
+
+    Because the sampling window is shorter than the VM scheduler's 30 ms
+    accounting period, a capped VM that burns its whole allowance in a burst
+    at the start of each period makes successive windows read ~100 % then
+    ~0 %, and the governor oscillates between the extreme frequencies —
+    exactly the saw-tooth of Fig. 3. *)
+
+val create :
+  ?period:Sim_time.t ->
+  ?up_threshold:float ->
+  ?floor:Cpu_model.Frequency.mhz ->
+  Cpu_model.Processor.t ->
+  Governor.t
+(** Defaults: [period] 5 ms, [up_threshold] 0.8, no [floor].
+
+    [floor] models platform power plans (Hyper-V, VMware ESXi "balanced")
+    that never descend below a minimum P-state: the governor's choice is
+    clamped to at least that level.  A capped VM's served load shrinks with
+    the frequency, so a floorless governor ratchets all the way down; the
+    floor is what differentiates the platforms' degradation in Table 2.
+    @raise Invalid_argument if the threshold is outside (0, 1]. *)

@@ -1,0 +1,25 @@
+module Processor = Cpu_model.Processor
+module Frequency = Cpu_model.Frequency
+
+let create ?(period = Sim_time.of_ms 10) ?(margin = 1.25) processor =
+  if margin < 1.0 then invalid_arg "Schedutil.create: margin must be >= 1";
+  let table = Processor.freq_table processor in
+  let observe ~now ~busy_fraction =
+    (* Frequency-invariant utilization: busy time weighted by the current
+       speed, relative to the maximum-frequency capacity. *)
+    let util_abs = busy_fraction *. Processor.speed processor in
+    let target = margin *. util_abs *. float_of_int (Frequency.max_freq table) in
+    let levels = Frequency.levels table in
+    let chosen = ref (Frequency.max_freq table) in
+    (try
+       Array.iter
+         (fun f ->
+           if float_of_int f >= target then begin
+             chosen := f;
+             raise Exit
+           end)
+         levels
+     with Exit -> ());
+    Processor.set_freq processor ~now !chosen
+  in
+  Governor.make ~name:"schedutil" ~period ~observe

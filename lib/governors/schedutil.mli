@@ -1,0 +1,15 @@
+(** A schedutil-style governor.
+
+    Linux's successor to ondemand (not yet existing at the paper's time,
+    included for the governor inventory and the comparison example): no
+    thresholds, the target frequency is simply proportional to the
+    frequency-invariant utilization with a fixed headroom margin —
+    [f_target = margin * util_abs * f_max], rounded up to the next
+    supported P-state.  Reacts instantly in both directions, which places
+    it between the stock ondemand (aggressive, oscillation-prone) and the
+    authors' stable governor on the Fig. 3/Fig. 4 spectrum. *)
+
+val create :
+  ?period:Sim_time.t -> ?margin:float -> Cpu_model.Processor.t -> Governor.t
+(** Defaults: [period] 10 ms, [margin] 1.25 (Linux's "util + util/4").
+    @raise Invalid_argument if [margin < 1]. *)

@@ -1,0 +1,23 @@
+(** The authors' ondemand governor (§5.4).
+
+    "We implemented our own (ondemand) governor, which is less aggressive
+    and more stable, and consequently saves less energy" — the governor used
+    for every figure after Fig. 3.  Stability comes from three ingredients:
+
+    - a sampling window (100 ms) longer than the VM scheduler's accounting
+      period, so capped-VM burstiness is averaged away;
+    - the utilization estimate is the mean of the last three windows (the
+      same 3-sample averaging footnote 5 applies to the PAS global load);
+    - a target level must be requested for [stability] consecutive
+      evaluations before the governor moves, and it moves one P-state per
+      step, never jumping. *)
+
+val create :
+  ?period:Sim_time.t ->
+  ?up_threshold:float ->
+  ?stability:int ->
+  Cpu_model.Processor.t ->
+  Governor.t
+(** Defaults: [period] 100 ms, [up_threshold] 0.8, [stability] 3.
+    @raise Invalid_argument if the threshold is outside (0, 1] or
+    [stability < 1]. *)

@@ -1,0 +1,20 @@
+module Processor = Cpu_model.Processor
+
+type t = {
+  processor : Processor.t;
+  period : Sim_time.t;
+  mutable pending : Cpu_model.Frequency.mhz option;
+}
+
+let create ?(period = Sim_time.of_ms 10) processor = { processor; period; pending = None }
+
+let governor t =
+  Governor.make ~name:"userspace" ~period:t.period ~observe:(fun ~now ~busy_fraction:_ ->
+      match t.pending with
+      | Some f ->
+          Processor.set_freq t.processor ~now f;
+          t.pending <- None
+      | None -> ())
+
+let request t f = t.pending <- Some f
+let requested t = t.pending

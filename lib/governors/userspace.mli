@@ -1,0 +1,17 @@
+(** The userspace governor (§2.2): "allows user applications to manually set
+    the processor frequency".  The PAS user-level implementation variants
+    (§4.1) drive the frequency through this governor. *)
+
+type t
+
+val create : ?period:Sim_time.t -> Cpu_model.Processor.t -> t
+(** Default period 10 ms — how often a pending request is applied. *)
+
+val governor : t -> Governor.t
+
+val request : t -> Cpu_model.Frequency.mhz -> unit
+(** Asks for a frequency; applied (clamped to the closest supported level)
+    at the next observation — modelling the user/kernel boundary crossing. *)
+
+val requested : t -> Cpu_model.Frequency.mhz option
+(** The currently pending request, if any. *)

@@ -1,0 +1,55 @@
+module Workload = Workloads.Workload
+
+type t = {
+  name : string;
+  timeslice : Sim_time.t;
+  mutable procs : Process.t array;
+  mutable next : int; (* round-robin pointer *)
+}
+
+let create ?(timeslice = Sim_time.of_ms 10) ~name procs =
+  if Sim_time.equal timeslice Sim_time.zero then
+    invalid_arg "Guest_os.create: zero timeslice";
+  { name; timeslice; procs = Array.of_list procs; next = 0 }
+
+let name t = t.name
+let processes t = Array.to_list t.procs
+let spawn t p = t.procs <- Array.append t.procs [| p |]
+
+let advance t ~now ~dt =
+  Array.iter (fun p -> Workload.advance (Process.workload p) ~now ~dt) t.procs
+
+let has_work t () = Array.exists Process.runnable t.procs
+
+(* Round-robin dispatch: offer up to a timeslice to each runnable process in
+   turn until the offered CPU time is exhausted or nobody is runnable. *)
+let execute t ~now ~cpu_time ~speed =
+  let n = Array.length t.procs in
+  let remaining = ref cpu_time in
+  let consumed = ref Sim_time.zero in
+  let idle_scan = ref 0 in
+  while Sim_time.compare !remaining Sim_time.zero > 0 && !idle_scan < n do
+    let p = t.procs.(t.next mod n) in
+    t.next <- (t.next + 1) mod n;
+    if Process.runnable p then begin
+      let offered = Sim_time.min t.timeslice !remaining in
+      let used = Workload.execute (Process.workload p) ~now ~cpu_time:offered ~speed in
+      Process.charge p used;
+      consumed := Sim_time.add !consumed used;
+      remaining := Sim_time.sub !remaining used;
+      if Sim_time.equal used Sim_time.zero then incr idle_scan else idle_scan := 0
+    end
+    else incr idle_scan
+  done;
+  !consumed
+
+let workload t =
+  if Array.length t.procs = 0 then Workload.idle ()
+  else
+    Workload.make ~name:t.name ~advance:(fun ~now ~dt -> advance t ~now ~dt)
+      ~has_work:(has_work t)
+      ~execute:(fun ~now ~cpu_time ~speed -> execute t ~now ~cpu_time ~speed)
+      ()
+
+let cpu_time t =
+  Array.fold_left (fun acc p -> Sim_time.add acc (Process.cpu_time p)) Sim_time.zero t.procs

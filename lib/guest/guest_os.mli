@@ -1,0 +1,25 @@
+(** A guest operating system: a round-robin process scheduler exposed to the
+    hypervisor as a single workload.
+
+    When the hypervisor offers the VM some CPU time, the guest OS spreads it
+    over its runnable processes in round-robin order with a configurable
+    timeslice.  This realises the paper's two-level scheduling: the
+    hypervisor is unaware of what runs inside (§2.1). *)
+
+type t
+
+val create : ?timeslice:Sim_time.t -> name:string -> Process.t list -> t
+(** Default timeslice: 10 ms.
+    @raise Invalid_argument on a zero timeslice. *)
+
+val name : t -> string
+val processes : t -> Process.t list
+
+val spawn : t -> Process.t -> unit
+(** Adds a process at the end of the run queue. *)
+
+val workload : t -> Workloads.Workload.t
+(** The VM-level view the hypervisor schedules. *)
+
+val cpu_time : t -> Sim_time.t
+(** Total CPU time consumed by all processes. *)

@@ -1,0 +1,19 @@
+type t = {
+  pid : int;
+  name : string;
+  workload : Workloads.Workload.t;
+  mutable cpu_time : Sim_time.t;
+}
+
+let next_pid = ref 0
+
+let create ~name workload =
+  incr next_pid;
+  { pid = !next_pid; name; workload; cpu_time = Sim_time.zero }
+
+let pid t = t.pid
+let name t = t.name
+let workload t = t.workload
+let cpu_time t = t.cpu_time
+let charge t used = t.cpu_time <- Sim_time.add t.cpu_time used
+let runnable t = Workloads.Workload.has_work t.workload

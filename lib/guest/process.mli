@@ -1,0 +1,24 @@
+(** A process inside a guest OS.
+
+    §2.1 of the paper points out that running an application in a VM
+    involves two scheduler levels: the hypervisor schedules VMs, and inside
+    each VM a guest OS schedules processes.  A process wraps a workload and
+    accounts the CPU time the guest scheduler granted it. *)
+
+type t
+
+val create : name:string -> Workloads.Workload.t -> t
+
+val pid : t -> int
+(** Unique across all processes of the program run. *)
+
+val name : t -> string
+val workload : t -> Workloads.Workload.t
+
+val cpu_time : t -> Sim_time.t
+(** Total CPU time consumed so far. *)
+
+val charge : t -> Sim_time.t -> unit
+(** Used by the guest scheduler; adds to {!cpu_time}. *)
+
+val runnable : t -> bool

@@ -1,0 +1,47 @@
+type t = {
+  id : int;
+  name : string;
+  initial_credit : float;
+  weight : int;
+  is_dom0 : bool;
+  vcpus : int;
+  workload : Workloads.Workload.t;
+  mutable cpu_time : Sim_time.t;
+}
+
+let next_id = ref 0
+
+let create ?(weight = 256) ?(is_dom0 = false) ?(vcpus = 1) ~name ~credit_pct workload =
+  if credit_pct < 0.0 || credit_pct > 100.0 then
+    invalid_arg "Domain.create: credit out of [0, 100]";
+  if weight <= 0 then invalid_arg "Domain.create: weight must be positive";
+  if vcpus < 1 then invalid_arg "Domain.create: vcpus must be >= 1";
+  incr next_id;
+  {
+    id = !next_id;
+    name;
+    initial_credit = credit_pct;
+    weight;
+    is_dom0;
+    vcpus;
+    workload;
+    cpu_time = Sim_time.zero;
+  }
+
+let id t = t.id
+let name t = t.name
+let initial_credit t = t.initial_credit
+let uncapped t = t.initial_credit = 0.0
+let weight t = t.weight
+let is_dom0 t = t.is_dom0
+let vcpus t = t.vcpus
+let workload t = t.workload
+let runnable t = Workloads.Workload.has_work t.workload
+let cpu_time t = t.cpu_time
+let charge t used = t.cpu_time <- Sim_time.add t.cpu_time used
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+let pp ppf t =
+  Format.fprintf ppf "%s(id=%d credit=%.1f%%%s)" t.name t.id t.initial_credit
+    (if t.is_dom0 then " dom0" else "")

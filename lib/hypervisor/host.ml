@@ -1,0 +1,203 @@
+module Processor = Cpu_model.Processor
+
+type config = {
+  quantum : Sim_time.t;
+  account_period : Sim_time.t;
+  sample_period : Sim_time.t;
+}
+
+let default_config =
+  {
+    quantum = Sim_time.of_ms 1;
+    account_period = Sim_time.of_ms 30;
+    sample_period = Sim_time.of_sec 1;
+  }
+
+type domain_metrics = {
+  domain : Domain.t;
+  load : Series.t;
+  absolute : Series.t;
+  mutable last_cpu_time : Sim_time.t;
+}
+
+type t = {
+  sim : Simulator.t;
+  processor : Processor.t;
+  scheduler : Scheduler.t;
+  config : config;
+  trace : Trace.t option;
+  mutable handles : Simulator.handle list;
+  mutable total_busy : Sim_time.t;
+  freq_series : Series.t;
+  global_series : Series.t;
+  absolute_series : Series.t;
+  domain_metrics : domain_metrics list;
+}
+
+let sim t = t.sim
+let processor t = t.processor
+let scheduler t = t.scheduler
+let config t = t.config
+let domains t = t.scheduler.Scheduler.domains ()
+let now t = Simulator.now t.sim
+let total_busy t = t.total_busy
+
+let utilization_probe t =
+  let last_busy = ref t.total_busy and last_time = ref (now t) in
+  fun () ->
+    let busy = Sim_time.diff t.total_busy !last_busy in
+    let elapsed = Sim_time.diff (now t) !last_time in
+    last_busy := t.total_busy;
+    last_time := now t;
+    if Sim_time.equal elapsed Sim_time.zero then 0.0
+    else Sim_time.to_sec busy /. Sim_time.to_sec elapsed
+
+(* One dispatch tick: advance workloads, then hand out the tick to domains
+   as the scheduler directs.  A domain that consumes less than it is offered
+   has drained its demand and is excluded for the rest of the tick (also the
+   safety net against zero-length-progress livelock). *)
+let dispatch_tick t () =
+  let current = now t in
+  let quantum = t.config.quantum in
+  let speed = Processor.speed t.processor in
+  List.iter
+    (fun d -> Workloads.Workload.advance (Domain.workload d) ~now:current ~dt:quantum)
+    (domains t);
+  let remaining = ref quantum in
+  let busy = ref Sim_time.zero in
+  let exclude = ref [] in
+  let continue = ref true in
+  while !continue && Sim_time.compare !remaining Sim_time.zero > 0 do
+    match t.scheduler.Scheduler.pick ~now:current ~remaining:!remaining ~exclude:!exclude with
+    | None -> continue := false
+    | Some { Scheduler.domain; max_slice } ->
+        let offered = Sim_time.min max_slice !remaining in
+        if Sim_time.equal offered Sim_time.zero then exclude := domain :: !exclude
+        else begin
+          let used =
+            Workloads.Workload.execute (Domain.workload domain) ~now:current
+              ~cpu_time:offered ~speed
+          in
+          if Sim_time.compare used Sim_time.zero > 0 then begin
+            t.scheduler.Scheduler.charge ~domain ~now:current ~used;
+            Domain.charge domain used;
+            busy := Sim_time.add !busy used;
+            remaining := Sim_time.sub !remaining used
+          end;
+          if Sim_time.compare used offered < 0 then exclude := domain :: !exclude
+        end
+  done;
+  t.total_busy <- Sim_time.add t.total_busy !busy;
+  let util = Sim_time.to_sec !busy /. Sim_time.to_sec quantum in
+  Processor.record_power t.processor ~dt:quantum ~util
+
+let sample t () =
+  let current = now t in
+  let dt = Sim_time.to_sec t.config.sample_period in
+  let ratio = Processor.ratio t.processor and cf = Processor.cf t.processor in
+  let global = ref 0.0 in
+  List.iter
+    (fun m ->
+      let used = Sim_time.diff (Domain.cpu_time m.domain) m.last_cpu_time in
+      m.last_cpu_time <- Domain.cpu_time m.domain;
+      let load_pct = Sim_time.to_sec used /. dt *. 100.0 in
+      global := !global +. load_pct;
+      Series.add m.load current load_pct;
+      Series.add m.absolute current (load_pct *. ratio *. cf))
+    t.domain_metrics;
+  let freq = Processor.current_freq t.processor in
+  (match (t.trace, Series.last_value t.freq_series) with
+  | Some tr, Some prev when int_of_float prev <> freq ->
+      Trace.recordf tr ~time:current ~source:"dvfs" "frequency %d -> %d MHz"
+        (int_of_float prev) freq
+  | Some _, _ | None, _ -> ());
+  Series.add t.freq_series current (float_of_int freq);
+  Series.add t.global_series current !global;
+  Series.add t.absolute_series current (!global *. ratio *. cf)
+
+let create ?(config = default_config) ?trace ~sim ~processor ~scheduler ?governor () =
+  let domain_metrics =
+    List.map
+      (fun d ->
+        {
+          domain = d;
+          load = Series.create ~name:(Domain.name d ^ ".load");
+          absolute = Series.create ~name:(Domain.name d ^ ".absolute");
+          last_cpu_time = Domain.cpu_time d;
+        })
+      (scheduler.Scheduler.domains ())
+  in
+  let t =
+    {
+      sim;
+      processor;
+      scheduler;
+      config;
+      trace;
+      handles = [];
+      total_busy = Sim_time.zero;
+      freq_series = Series.create ~name:"freq_mhz";
+      global_series = Series.create ~name:"global_load";
+      absolute_series = Series.create ~name:"absolute_load";
+      domain_metrics;
+    }
+  in
+  let arm handle = t.handles <- handle :: t.handles in
+  arm (Simulator.every sim config.quantum (dispatch_tick t));
+  arm
+    (Simulator.every sim config.account_period (fun () ->
+         scheduler.Scheduler.on_account_period ~now:(now t)));
+  arm (Simulator.every sim config.sample_period (sample t));
+  (match scheduler.Scheduler.observe_window with
+  | Some observe ->
+      let probe = utilization_probe t in
+      arm
+        (Simulator.every sim scheduler.Scheduler.window_period (fun () ->
+             observe ~now:(now t) ~busy_fraction:(probe ())))
+  | None -> ());
+  (match governor with
+  | Some gov ->
+      let probe = utilization_probe t in
+      arm
+        (Simulator.every sim gov.Governors.Governor.period (fun () ->
+             gov.Governors.Governor.observe ~now:(now t) ~busy_fraction:(probe ())))
+  | None -> ());
+  (match trace with
+  | Some tr ->
+      Trace.recordf tr ~time:(Simulator.now sim) ~source:"host" "host created (%s)"
+        scheduler.Scheduler.name
+  | None -> ());
+  t
+
+let run_for t duration = Simulator.run_until t.sim (Sim_time.add (now t) duration)
+
+let stop t =
+  List.iter (Simulator.cancel t.sim) t.handles;
+  t.handles <- []
+
+let series_frequency t = t.freq_series
+let series_global_load t = t.global_series
+let series_absolute_load t = t.absolute_series
+
+let metrics_for t d =
+  match List.find_opt (fun m -> Domain.equal m.domain d) t.domain_metrics with
+  | Some m -> m
+  | None -> raise Not_found
+
+let series_domain_load t d = (metrics_for t d).load
+let series_domain_absolute_load t d = (metrics_for t d).absolute
+
+let frame t =
+  let frame = Series.Frame.create () in
+  Series.Frame.add_series frame t.freq_series;
+  List.iter
+    (fun m ->
+      Series.Frame.add_series frame m.load;
+      Series.Frame.add_series frame m.absolute)
+    t.domain_metrics;
+  Series.Frame.add_series frame t.global_series;
+  Series.Frame.add_series frame t.absolute_series;
+  frame
+
+let energy_joules t = Processor.energy_joules t.processor
+let mean_watts t = Processor.mean_watts t.processor

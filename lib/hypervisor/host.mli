@@ -1,0 +1,82 @@
+(** A physical host: one processor, a set of domains, a VM scheduler and
+    (optionally) a DVFS governor, driven by the discrete-event simulator.
+
+    On every dispatch tick (default 1 ms) the host advances all workloads,
+    then repeatedly asks the scheduler whom to run until the tick is spent
+    or nobody runnable remains.  Every accounting period (Xen: 30 ms) the
+    scheduler refreshes its credit state.  Utilization windows are delivered
+    to the governor and/or the scheduler's own DVFS observer (PAS).
+
+    Metrics follow the paper's §4 definitions:
+    - {e VM global load} — the domain's contribution to processor load
+      (busy fraction of wall time);
+    - {e Global load} — their sum;
+    - {e Absolute load} — [Global load * ratio * cf], the load the same
+      work would represent at maximum frequency. *)
+
+type config = {
+  quantum : Sim_time.t;  (** dispatch tick, default 1 ms *)
+  account_period : Sim_time.t;  (** credit accounting, default 30 ms *)
+  sample_period : Sim_time.t;  (** metric sampling, default 1 s *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?trace:Trace.t ->
+  sim:Simulator.t ->
+  processor:Cpu_model.Processor.t ->
+  scheduler:Scheduler.t ->
+  ?governor:Governors.Governor.t ->
+  unit ->
+  t
+(** Builds the host and arms its periodic events on [sim].  The simulation
+    starts when the caller runs [sim]. *)
+
+val sim : t -> Simulator.t
+val processor : t -> Cpu_model.Processor.t
+val scheduler : t -> Scheduler.t
+val config : t -> config
+val domains : t -> Domain.t list
+
+val run_for : t -> Sim_time.t -> unit
+(** Advances the simulation by the given duration. *)
+
+val stop : t -> unit
+(** Cancels the host's periodic events; the host stops dispatching and
+    sampling.  Used when a cluster manager decommissions or rebuilds a
+    node mid-simulation. *)
+
+val now : t -> Sim_time.t
+
+val total_busy : t -> Sim_time.t
+(** Cumulative busy CPU time since the start. *)
+
+val utilization_probe : t -> unit -> float
+(** [utilization_probe host] returns a fresh probe: each call to the probe
+    yields the busy fraction of the wall time elapsed since the probe's
+    previous call (1.0 on the very first call of an always-busy host).
+    Used by user-level PAS daemons and governors alike. *)
+
+(** {1 Recorded series}
+
+    Sampled every [sample_period]; loads are percentages. *)
+
+val series_frequency : t -> Series.t
+val series_global_load : t -> Series.t
+val series_absolute_load : t -> Series.t
+
+val series_domain_load : t -> Domain.t -> Series.t
+(** The domain's VM global load.  @raise Not_found for a foreign domain. *)
+
+val series_domain_absolute_load : t -> Domain.t -> Series.t
+(** The domain's contribution converted to absolute load. *)
+
+val frame : t -> Series.Frame.t
+(** All series of this host bundled for CSV export. *)
+
+val energy_joules : t -> float
+val mean_watts : t -> float

@@ -1,0 +1,33 @@
+type slice = { domain : Domain.t; max_slice : Sim_time.t }
+
+type t = {
+  name : string;
+  domains : unit -> Domain.t list;
+  pick : now:Sim_time.t -> remaining:Sim_time.t -> exclude:Domain.t list -> slice option;
+  charge : domain:Domain.t -> now:Sim_time.t -> used:Sim_time.t -> unit;
+  on_account_period : now:Sim_time.t -> unit;
+  set_effective_credit : Domain.t -> float -> unit;
+  effective_credit : Domain.t -> float;
+  observe_window : (now:Sim_time.t -> busy_fraction:float -> unit) option;
+  window_period : Sim_time.t;
+}
+
+let make ~name ~domains ~pick ~charge ?(on_account_period = fun ~now:_ -> ())
+    ?(set_effective_credit = fun _ _ -> ()) ?effective_credit ?observe_window
+    ?(window_period = Sim_time.of_ms 100) () =
+  let effective_credit =
+    match effective_credit with Some f -> f | None -> Domain.initial_credit
+  in
+  {
+    name;
+    domains;
+    pick;
+    charge;
+    on_account_period;
+    set_effective_credit;
+    effective_credit;
+    observe_window;
+    window_period;
+  }
+
+let excluded d exclude = List.exists (Domain.equal d) exclude

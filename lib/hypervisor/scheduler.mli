@@ -1,0 +1,52 @@
+(** The VM-scheduler plug-in interface.
+
+    A scheduler is a record of closures so that Credit, SEDF, Credit2 and
+    PAS can be swapped into the host without a functor ceremony.  The host
+    calls, in order, on each dispatch tick: {!pick} (possibly several times
+    as workloads drain), then {!charge} for the time actually consumed; and
+    {!on_account_period} every accounting period (Xen: 30 ms).
+
+    [set_effective_credit]/[effective_credit] expose the run-time credit a
+    DVFS-aware policy manipulates (the paper's Listing 1.2 calls
+    [setCredit]); schedulers without that notion may ignore it.
+
+    [observe_window] lets a scheduler that embeds DVFS policy (PAS) receive
+    processor-utilization samples: the host calls it every [window_period]
+    with the busy fraction of the elapsed window. *)
+
+type slice = { domain : Domain.t; max_slice : Sim_time.t }
+(** A dispatch decision: run [domain] for at most [max_slice]. *)
+
+type t = {
+  name : string;
+  domains : unit -> Domain.t list;
+  pick : now:Sim_time.t -> remaining:Sim_time.t -> exclude:Domain.t list -> slice option;
+      (** Choose whom to run for (part of) the current tick.  [exclude]
+          lists domains that already declined CPU this tick; the scheduler
+          must not return them, and must never return a zero-length slice. *)
+  charge : domain:Domain.t -> now:Sim_time.t -> used:Sim_time.t -> unit;
+  on_account_period : now:Sim_time.t -> unit;
+  set_effective_credit : Domain.t -> float -> unit;
+  effective_credit : Domain.t -> float;
+  observe_window : (now:Sim_time.t -> busy_fraction:float -> unit) option;
+  window_period : Sim_time.t;
+}
+
+val make :
+  name:string ->
+  domains:(unit -> Domain.t list) ->
+  pick:(now:Sim_time.t -> remaining:Sim_time.t -> exclude:Domain.t list -> slice option) ->
+  charge:(domain:Domain.t -> now:Sim_time.t -> used:Sim_time.t -> unit) ->
+  ?on_account_period:(now:Sim_time.t -> unit) ->
+  ?set_effective_credit:(Domain.t -> float -> unit) ->
+  ?effective_credit:(Domain.t -> float) ->
+  ?observe_window:(now:Sim_time.t -> busy_fraction:float -> unit) ->
+  ?window_period:Sim_time.t ->
+  unit ->
+  t
+(** Defaults: account period and credit setters are no-ops,
+    [effective_credit] falls back to the domain's initial credit, no window
+    observation, [window_period] 100 ms. *)
+
+val excluded : Domain.t -> Domain.t list -> bool
+(** Membership helper for implementing [pick]. *)

@@ -1,0 +1,243 @@
+module Smp = Cpu_model.Smp
+module Frequency = Cpu_model.Frequency
+module Calibration = Cpu_model.Calibration
+
+type dvfs_policy = {
+  policy_name : string;
+  period : Sim_time.t;
+  decide : now:Sim_time.t -> domain:int -> core_utils:float array -> unit;
+}
+
+let lowest_sufficient smp ~absolute_load ~threshold =
+  let table = Smp.freq_table smp in
+  let cal = (Smp.arch smp).Cpu_model.Arch.calibration in
+  let levels = Frequency.levels table in
+  let chosen = ref (Frequency.max_freq table) in
+  (try
+     Array.iter
+       (fun f ->
+         if Calibration.effective_speed cal table f *. threshold >= absolute_load then begin
+           chosen := f;
+           raise Exit
+         end)
+       levels
+   with Exit -> ());
+  !chosen
+
+let ondemand_max_core ?(up_threshold = 0.8) smp ~period =
+  let table = Smp.freq_table smp in
+  let cal = (Smp.arch smp).Cpu_model.Arch.calibration in
+  let decide ~now ~domain ~core_utils =
+    let busiest = Array.fold_left Float.max 0.0 core_utils in
+    let freq = Smp.current_freq smp ~domain in
+    let target =
+      if busiest >= up_threshold then Frequency.max_freq table
+      else begin
+        let speed = Calibration.effective_speed cal table freq in
+        lowest_sufficient smp ~absolute_load:(busiest *. speed) ~threshold:up_threshold
+      end
+    in
+    Smp.set_freq smp ~now ~domain target
+  in
+  { policy_name = "ondemand-max-core"; period; decide }
+
+let performance_policy smp =
+  let table = Smp.freq_table smp in
+  {
+    policy_name = "performance";
+    period = Sim_time.of_sec 1;
+    decide =
+      (fun ~now ~domain ~core_utils:_ ->
+        Smp.set_freq smp ~now ~domain (Frequency.max_freq table));
+  }
+
+type domain_state = {
+  domain : Domain.t;
+  mutable work : float; (* absolute work delivered *)
+  mutable tick_used : Sim_time.t; (* CPU time consumed this tick *)
+  load : Series.t;
+  absolute : Series.t;
+  mutable last_cpu_time : Sim_time.t;
+  mutable last_work : float;
+}
+
+type t = {
+  sim : Simulator.t;
+  smp : Smp.t;
+  scheduler : Scheduler.t;
+  quantum : Sim_time.t;
+  sample_period : Sim_time.t;
+  doms : domain_state array;
+  core_busy : Sim_time.t array;
+  freq_series : Series.t array; (* one per DVFS domain *)
+}
+
+let sim t = t.sim
+let smp t = t.smp
+let scheduler t = t.scheduler
+let domains t = Array.to_list (Array.map (fun st -> st.domain) t.doms)
+let now t = Simulator.now t.sim
+
+let state t d =
+  match Array.find_opt (fun st -> Domain.equal st.domain d) t.doms with
+  | Some st -> st
+  | None -> raise Not_found
+
+(* One dispatch tick over all cores.  Each domain may consume at most
+   [vcpus * quantum] CPU time per tick (its parallelism bound). *)
+let dispatch_tick t () =
+  let current = now t in
+  let quantum = t.quantum in
+  Array.iter
+    (fun st ->
+      st.tick_used <- Sim_time.zero;
+      Workloads.Workload.advance (Domain.workload st.domain) ~now:current ~dt:quantum)
+    t.doms;
+  let drained = ref [] in
+  let parallelism_cap st =
+    Sim_time.of_us (Domain.vcpus st.domain * Sim_time.to_us quantum)
+  in
+  for core = 0 to Smp.cores t.smp - 1 do
+    let speed = Smp.speed_of_core t.smp core in
+    let remaining = ref quantum in
+    let continue = ref true in
+    while !continue && Sim_time.compare !remaining Sim_time.zero > 0 do
+      let exclude =
+        !drained
+        @ (Array.to_list t.doms
+          |> List.filter_map (fun st ->
+                 if Sim_time.compare st.tick_used (parallelism_cap st) >= 0 then
+                   Some st.domain
+                 else None))
+      in
+      match t.scheduler.Scheduler.pick ~now:current ~remaining:!remaining ~exclude with
+      | None -> continue := false
+      | Some { Scheduler.domain; max_slice } ->
+          let st = state t domain in
+          let headroom = Sim_time.sub (parallelism_cap st) st.tick_used in
+          let offered = Sim_time.min (Sim_time.min max_slice !remaining) headroom in
+          if Sim_time.equal offered Sim_time.zero then drained := domain :: !drained
+          else begin
+            let used =
+              Workloads.Workload.execute (Domain.workload domain) ~now:current
+                ~cpu_time:offered ~speed
+            in
+            if Sim_time.compare used Sim_time.zero > 0 then begin
+              t.scheduler.Scheduler.charge ~domain ~now:current ~used;
+              Domain.charge domain used;
+              st.tick_used <- Sim_time.add st.tick_used used;
+              st.work <- st.work +. (Sim_time.to_sec used *. speed);
+              t.core_busy.(core) <- Sim_time.add t.core_busy.(core) used;
+              remaining := Sim_time.sub !remaining used
+            end;
+            if Sim_time.compare used offered < 0 then drained := domain :: !drained
+          end
+    done
+  done
+
+let sample t () =
+  let current = now t in
+  let dt = Sim_time.to_sec t.sample_period in
+  let host_time = dt *. float_of_int (Smp.cores t.smp) in
+  Array.iter
+    (fun st ->
+      let used = Sim_time.diff (Domain.cpu_time st.domain) st.last_cpu_time in
+      st.last_cpu_time <- Domain.cpu_time st.domain;
+      let work_done = st.work -. st.last_work in
+      st.last_work <- st.work;
+      Series.add st.load current (Sim_time.to_sec used /. host_time *. 100.0);
+      Series.add st.absolute current (work_done /. host_time *. 100.0))
+    t.doms;
+  Array.iteri
+    (fun domain series ->
+      Series.add series current (float_of_int (Smp.current_freq t.smp ~domain)))
+    t.freq_series
+
+let create ?(quantum = Sim_time.of_ms 1) ?(account_period = Sim_time.of_ms 30)
+    ?(sample_period = Sim_time.of_sec 1) ~sim ~smp ~scheduler ?dvfs () =
+  let doms =
+    Array.of_list
+      (List.map
+         (fun d ->
+           {
+             domain = d;
+             work = 0.0;
+             tick_used = Sim_time.zero;
+             load = Series.create ~name:(Domain.name d ^ ".load");
+             absolute = Series.create ~name:(Domain.name d ^ ".absolute");
+             last_cpu_time = Domain.cpu_time d;
+             last_work = 0.0;
+           })
+         (scheduler.Scheduler.domains ()))
+  in
+  let t =
+    {
+      sim;
+      smp;
+      scheduler;
+      quantum;
+      sample_period;
+      doms;
+      core_busy = Array.make (Smp.cores smp) Sim_time.zero;
+      freq_series =
+        Array.init (Smp.domain_count smp) (fun i ->
+            Series.create ~name:(Printf.sprintf "freq_domain%d" i));
+    }
+  in
+  ignore (Simulator.every sim quantum (dispatch_tick t));
+  ignore
+    (Simulator.every sim account_period (fun () ->
+         scheduler.Scheduler.on_account_period ~now:(now t)));
+  ignore (Simulator.every sim sample_period (sample t));
+  (* Energy accounting window: 10 ms granularity using window_busy deltas. *)
+  let energy_period = Sim_time.of_ms 10 in
+  let last_energy = Array.make (Smp.cores smp) Sim_time.zero in
+  ignore
+    (Simulator.every sim energy_period (fun () ->
+         let utils =
+           Array.mapi
+             (fun c last ->
+               let delta = Sim_time.diff t.core_busy.(c) last in
+               last_energy.(c) <- t.core_busy.(c);
+               Sim_time.to_sec delta /. Sim_time.to_sec energy_period)
+             last_energy
+         in
+         Smp.record_power smp ~dt:energy_period ~core_utils:utils));
+  (match dvfs with
+  | Some policy ->
+      let last = Array.make (Smp.cores smp) Sim_time.zero in
+      ignore
+        (Simulator.every sim policy.period (fun () ->
+             let utils =
+               Array.mapi
+                 (fun c l ->
+                   let delta = Sim_time.diff t.core_busy.(c) l in
+                   last.(c) <- t.core_busy.(c);
+                   Sim_time.to_sec delta /. Sim_time.to_sec policy.period)
+                 last
+             in
+             for domain = 0 to Smp.domain_count smp - 1 do
+               let members = Smp.cores_of_domain smp domain in
+               let core_utils = Array.of_list (List.map (fun c -> utils.(c)) members) in
+               policy.decide ~now:(now t) ~domain ~core_utils
+             done))
+  | None -> ());
+  t
+
+let run_for t duration = Simulator.run_until t.sim (Sim_time.add (now t) duration)
+let core_busy t core = t.core_busy.(core)
+
+let total_busy t =
+  Array.fold_left (fun acc b -> Sim_time.add acc b) Sim_time.zero t.core_busy
+
+let domain_work t d = (state t d).work
+let series_domain_load t d = (state t d).load
+let series_domain_absolute_load t d = (state t d).absolute
+
+let series_domain_frequency t ~domain =
+  if domain < 0 || domain >= Array.length t.freq_series then
+    invalid_arg "Smp_host.series_domain_frequency: domain out of range";
+  t.freq_series.(domain)
+
+let energy_joules t = Smp.energy_joules t.smp
+let mean_watts t = Smp.mean_watts t.smp

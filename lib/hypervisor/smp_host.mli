@@ -1,0 +1,77 @@
+(** A multi-core host (§7 perspective: multi-core and per-core/per-socket
+    DVFS).
+
+    The dispatch model generalises {!Host}: on every tick each core is
+    offered to the scheduler in turn; a domain may occupy at most
+    [Domain.vcpus] cores' worth of CPU time per tick, and quotas are
+    percentages of the {e whole} host (pass the core count as the
+    scheduler's [host_capacity]).
+
+    DVFS is driven per frequency domain by a {!dvfs_policy} callback, fed
+    the per-core busy fractions of every window — enough to express the
+    Linux multi-core ondemand rule ("the domain's load is the {e maximum}
+    over its cores"), which is what makes a work-conserving scheduler on a
+    per-package part immune to Scenario 1 (one saturated core keeps the
+    whole package fast, Table 2's variable-credit column). *)
+
+type dvfs_policy = {
+  policy_name : string;
+  period : Sim_time.t;
+  decide : now:Sim_time.t -> domain:int -> core_utils:float array -> unit;
+      (** Called once per window per frequency domain; [core_utils] holds
+          the busy fraction of each core {e of that domain}. *)
+}
+
+val ondemand_max_core :
+  ?up_threshold:float -> Cpu_model.Smp.t -> period:Sim_time.t -> dvfs_policy
+(** The Linux rule: take the busiest core of the domain, convert to an
+    absolute load, pick the lowest sufficient frequency (jump to maximum
+    above the threshold, default 0.8). *)
+
+val performance_policy : Cpu_model.Smp.t -> dvfs_policy
+(** Pins every domain at maximum frequency. *)
+
+type t
+
+val create :
+  ?quantum:Sim_time.t ->
+  ?account_period:Sim_time.t ->
+  ?sample_period:Sim_time.t ->
+  sim:Simulator.t ->
+  smp:Cpu_model.Smp.t ->
+  scheduler:Scheduler.t ->
+  ?dvfs:dvfs_policy ->
+  unit ->
+  t
+(** Defaults match {!Host.default_config}. *)
+
+val sim : t -> Simulator.t
+val smp : t -> Cpu_model.Smp.t
+val scheduler : t -> Scheduler.t
+val domains : t -> Domain.t list
+val now : t -> Sim_time.t
+val run_for : t -> Sim_time.t -> unit
+
+val core_busy : t -> int -> Sim_time.t
+(** Cumulative busy time of one core. *)
+
+val total_busy : t -> Sim_time.t
+
+val domain_work : t -> Domain.t -> float
+(** Absolute work delivered to the domain so far (CPU time weighted by the
+    speed of the core it ran on). *)
+
+val series_domain_load : t -> Domain.t -> Series.t
+(** Percent of the whole host's {e time} (all cores) consumed. *)
+
+val series_domain_absolute_load : t -> Domain.t -> Series.t
+(** Percent of the host's {e maximum capacity} actually delivered —
+    frequency-weighted, the SMP generalisation of the paper's absolute
+    load. *)
+
+val series_domain_frequency : t -> domain:int -> Series.t
+(** Frequency of one DVFS domain over time.
+    @raise Invalid_argument on an out-of-range domain. *)
+
+val energy_joules : t -> float
+val mean_watts : t -> float

@@ -1,0 +1,68 @@
+(** Virtualization-platform profiles for Table 2 (§5.8).
+
+    The paper runs the V20/V70 scenario on seven platform configurations
+    (Hyper-V Server 2012, VMware ESXi 5, Xen/Credit, Xen/PAS, Xen/SEDF, KVM,
+    VirtualBox) on an HP Elite 8300.  We cannot run those hypervisors, so
+    each becomes a profile over the simulator's building blocks:
+
+    - its {e scheduler family} — fix credit (Hyper-V, VMware, Xen/Credit),
+      variable credit (Xen/SEDF, KVM, VirtualBox) or power-aware (Xen/PAS);
+    - its {e power-management profile} under the "OnDemand" column:
+      Xen's stock governor is the bursty short-window ondemand; Hyper-V and
+      VMware ship smoother managers modelled as long-window ondemand with a
+      platform-specific threshold; the work-conserving platforms compact the
+      busy vCPU onto one core whose saturation holds the shared frequency
+      domain high — modelled as a low up-threshold (0.45 < the ~50 % duty
+      of pi-app);
+    - an {e efficiency} factor (virtualization overhead) calibrated from the
+      Performance-governor column of Table 2 (Xen/Credit = 1). *)
+
+type kind = Fix_credit | Variable_credit | Power_aware
+
+type power_profile =
+  | Stock_ondemand  (** Xen's aggressive 5 ms-window governor *)
+  | Smooth_ondemand of {
+      up_threshold : float;
+      period : Sim_time.t;
+      floor : Cpu_model.Frequency.mhz option;
+          (** minimum P-state of the platform's power plan *)
+    }
+  | Integrated  (** PAS: frequency control lives in the scheduler *)
+
+type t = {
+  name : string;
+  kind : kind;
+  power : power_profile;
+  efficiency : float;  (** relative capacity vs Xen/Credit *)
+}
+
+type mode = Performance | Ondemand
+(** The two rows of Table 2. *)
+
+val hyper_v : t
+val vmware_esxi : t
+val xen_credit : t
+val xen_pas : t
+val xen_sedf : t
+val kvm : t
+val virtualbox : t
+
+val catalog : t list
+(** Table 2's column order: fix-credit platforms first. *)
+
+val find : string -> t option
+
+(** {1 Instantiation} *)
+
+type instance = {
+  scheduler : Hypervisor.Scheduler.t;
+  governor : Governors.Governor.t option;
+  pas : Pas.Pas_sched.t option;  (** present for {!Power_aware} platforms *)
+}
+
+val instantiate :
+  t -> mode:mode -> processor:Cpu_model.Processor.t -> Hypervisor.Domain.t list -> instance
+(** Builds the scheduler and governor this platform uses in the given mode.
+    Power-aware platforms return no governor (PAS owns the frequency) —
+    except in [Performance] mode, where the frequency is pinned and plain
+    Credit is used, matching the paper's Table 2 row. *)

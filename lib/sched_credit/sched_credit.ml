@@ -1,0 +1,170 @@
+module Domain = Hypervisor.Domain
+module Scheduler = Hypervisor.Scheduler
+
+type dom_state = {
+  domain : Domain.t;
+  mutable effective_credit : float; (* percent; the cap the policy may move *)
+  mutable quota : Sim_time.t; (* CPU time left this accounting period *)
+  mutable was_runnable : bool; (* for wake detection (BOOST) *)
+  mutable boosted : bool; (* woke recently: dispatched ahead of the pack *)
+}
+
+type t = {
+  account_period : Sim_time.t;
+  host_capacity : int; (* physical cores: quotas are % of the whole host *)
+  boost : bool;
+  doms : dom_state array;
+  mutable rr : int; (* round-robin pointer over capped domains *)
+  mutable rr_uncapped : int;
+  mutable rr_boost : int;
+}
+
+let quota_of t credit =
+  Sim_time.of_sec_f
+    (credit /. 100.0 *. Sim_time.to_sec t.account_period *. float_of_int t.host_capacity)
+
+let refill t st = st.quota <- quota_of t st.effective_credit
+
+let state t d =
+  match Array.find_opt (fun st -> Domain.equal st.domain d) t.doms with
+  | Some st -> st
+  | None -> invalid_arg "Sched_credit: unknown domain"
+
+(* A capped domain is eligible when runnable, not excluded and holding
+   quota; an uncapped one merely needs to be runnable. *)
+let eligible_capped st ~exclude =
+  (not (Domain.uncapped st.domain))
+  && Domain.runnable st.domain
+  && (not (Scheduler.excluded st.domain exclude))
+  && Sim_time.compare st.quota Sim_time.zero > 0
+
+let eligible_uncapped st ~exclude =
+  Domain.uncapped st.domain
+  && Domain.runnable st.domain
+  && not (Scheduler.excluded st.domain exclude)
+
+(* Rotating scan starting after the round-robin pointer. *)
+let rr_find t ptr pred =
+  let n = Array.length t.doms in
+  let rec loop i =
+    if i >= n then None
+    else begin
+      let idx = (ptr + 1 + i) mod n in
+      if pred t.doms.(idx) then Some idx else loop (i + 1)
+    end
+  in
+  loop 0
+
+(* Wake detection: a domain that just became runnable gets BOOST priority
+   (Xen's latency fix for I/O-bound domains) until its next dispatch. *)
+let detect_wakes t =
+  Array.iter
+    (fun st ->
+      let runnable = Domain.runnable st.domain in
+      if t.boost && runnable && not st.was_runnable then st.boosted <- true;
+      st.was_runnable <- runnable)
+    t.doms
+
+let pick t ~now:_ ~remaining ~exclude =
+  detect_wakes t;
+  let slice_of st cap =
+    Some { Scheduler.domain = st.domain; max_slice = Sim_time.min cap remaining }
+  in
+  (* Dom0 first: strictly highest priority. *)
+  let dom0 =
+    Array.find_opt
+      (fun st -> Domain.is_dom0 st.domain && eligible_capped st ~exclude)
+      t.doms
+  in
+  match dom0 with
+  | Some st -> slice_of st st.quota
+  | None -> (
+      match
+        rr_find t t.rr_boost (fun st ->
+            st.boosted && (not (Domain.is_dom0 st.domain)) && eligible_capped st ~exclude)
+      with
+      | Some idx ->
+          t.rr_boost <- idx;
+          let st = t.doms.(idx) in
+          slice_of st st.quota
+      | None -> (
+          match
+            rr_find t t.rr (fun st ->
+                (not (Domain.is_dom0 st.domain)) && eligible_capped st ~exclude)
+          with
+          | Some idx ->
+              t.rr <- idx;
+              let st = t.doms.(idx) in
+              slice_of st st.quota
+          | None -> (
+              match rr_find t t.rr_uncapped (eligible_uncapped ~exclude) with
+              | Some idx ->
+                  t.rr_uncapped <- idx;
+                  slice_of t.doms.(idx) remaining
+              | None -> None)))
+
+let charge t ~domain ~now:_ ~used =
+  let st = state t domain in
+  st.boosted <- false; (* the low-latency dispatch happened; back in the pack *)
+  st.quota <- (if Sim_time.compare used st.quota >= 0 then Sim_time.zero
+               else Sim_time.sub st.quota used)
+
+let on_account_period t ~now:_ = Array.iter (refill t) t.doms
+
+let set_effective_credit t d credit =
+  if credit < 0.0 then invalid_arg "Sched_credit.set_effective_credit: negative credit";
+  let st = state t d in
+  let old_quota = quota_of t st.effective_credit in
+  let new_quota = quota_of t credit in
+  st.effective_credit <- credit;
+  (* Adjust the in-flight quota by the cap delta so a mid-period raise takes
+     effect immediately (Listing 1.2 applies at scheduler ticks, not period
+     boundaries). *)
+  if Sim_time.compare new_quota old_quota >= 0 then
+    st.quota <- Sim_time.add st.quota (Sim_time.sub new_quota old_quota)
+  else begin
+    let cut = Sim_time.sub old_quota new_quota in
+    st.quota <-
+      (if Sim_time.compare cut st.quota >= 0 then Sim_time.zero
+       else Sim_time.sub st.quota cut)
+  end
+
+let effective_credit t d = (state t d).effective_credit
+
+let create ?(account_period = Sim_time.of_ms 30) ?(host_capacity = 1) ?(boost = true) domains =
+  if Sim_time.equal account_period Sim_time.zero then
+    invalid_arg "Sched_credit.create: zero account period";
+  if host_capacity < 1 then invalid_arg "Sched_credit.create: host_capacity must be >= 1";
+  let ids = List.map Domain.id domains in
+  if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
+    invalid_arg "Sched_credit.create: duplicate domains";
+  let t =
+    {
+      account_period;
+      host_capacity;
+      boost;
+      doms =
+        Array.of_list
+          (List.map
+             (fun d ->
+               {
+                 domain = d;
+                 effective_credit = Domain.initial_credit d;
+                 quota = Sim_time.zero;
+                 was_runnable = false;
+                 boosted = false;
+               })
+             domains);
+      rr = 0;
+      rr_uncapped = 0;
+      rr_boost = 0;
+    }
+  in
+  Array.iter (refill t) t.doms;
+  Scheduler.make ~name:"credit"
+    ~domains:(fun () -> Array.to_list (Array.map (fun st -> st.domain) t.doms))
+    ~pick:(fun ~now ~remaining ~exclude -> pick t ~now ~remaining ~exclude)
+    ~charge:(fun ~domain ~now ~used -> charge t ~domain ~now ~used)
+    ~on_account_period:(fun ~now -> on_account_period t ~now)
+    ~set_effective_credit:(set_effective_credit t)
+    ~effective_credit:(effective_credit t) ()

@@ -1,0 +1,34 @@
+(** The Xen Credit scheduler, used as the paper's {e fix credit} scheduler
+    (§3.1).
+
+    Each domain's credit is a hard cap: per accounting period (30 ms in
+    Xen) a domain may consume at most [credit% × period] of CPU time, and
+    unused time is {e not} redistributed — the processor idles instead
+    (non-work-conserving).  This is what makes the host look underloaded to
+    a DVFS governor when a domain is lazy (Scenario 1, §3.2).
+
+    Three special cases follow Xen:
+    - Dom0 has strictly highest priority (§5.3: Dom0 is configured with the
+      highest priority);
+    - a domain created with a null credit has no cap and soaks up slices no
+      capped domain wants, with no guarantee (§3.1);
+    - a domain waking from idle gets BOOST priority for its next dispatch
+      (Xen's latency fix for I/O-bound domains — cf. the scheduler
+      comparison the paper cites as [6]); disable with [~boost:false].
+
+    The {e effective} credit is what {!Scheduler.t.set_effective_credit}
+    manipulates; the PAS policy rescales it as the frequency moves, while
+    the {e initial} credit remains the sold SLA. *)
+
+val create :
+  ?account_period:Sim_time.t ->
+  ?host_capacity:int ->
+  ?boost:bool ->
+  Hypervisor.Domain.t list ->
+  Hypervisor.Scheduler.t
+(** [account_period] must equal the host's accounting period (default
+    30 ms) — quotas are refilled on {!Hypervisor.Scheduler.t.on_account_period}.
+    [host_capacity] is the host's core count (default 1): a credit is a
+    percentage of the {e whole} host, so quotas scale with it.
+    @raise Invalid_argument on duplicate domains, a zero period, or
+    [host_capacity < 1]. *)

@@ -1,0 +1,77 @@
+module Domain = Hypervisor.Domain
+module Scheduler = Hypervisor.Scheduler
+
+type dom_state = {
+  domain : Domain.t;
+  weight : float;
+  mutable vtime : float; (* weighted virtual runtime, seconds *)
+  mutable was_runnable : bool;
+}
+
+type t = { doms : dom_state array; rate_limit : Sim_time.t }
+
+let state t d =
+  match Array.find_opt (fun st -> Domain.equal st.domain d) t.doms with
+  | Some st -> st
+  | None -> invalid_arg "Sched_credit2: unknown domain"
+
+let weight_of d =
+  let c = Domain.initial_credit d in
+  if c > 0.0 then c *. 256.0 /. 100.0 else float_of_int (Domain.weight d)
+
+(* A domain waking from idle has its virtual clock brought up to the
+   runnable minimum so it cannot monopolise the CPU to "repay" its sleep. *)
+let on_wakeups t =
+  let min_runnable = ref infinity in
+  Array.iter
+    (fun st ->
+      if st.was_runnable && Domain.runnable st.domain then
+        min_runnable := Float.min !min_runnable st.vtime)
+    t.doms;
+  Array.iter
+    (fun st ->
+      let runnable = Domain.runnable st.domain in
+      if runnable && not st.was_runnable && !min_runnable < infinity then
+        st.vtime <- Float.max st.vtime !min_runnable;
+      st.was_runnable <- runnable)
+    t.doms
+
+let pick t ~now:_ ~remaining ~exclude =
+  on_wakeups t;
+  let best = ref None in
+  Array.iter
+    (fun st ->
+      if Domain.runnable st.domain && not (Scheduler.excluded st.domain exclude) then
+        match !best with
+        | Some b when b.vtime <= st.vtime -> ()
+        | Some _ | None -> best := Some st)
+    t.doms;
+  match !best with
+  | Some st ->
+      Some { Scheduler.domain = st.domain; max_slice = Sim_time.min t.rate_limit remaining }
+  | None -> None
+
+let charge t ~domain ~now:_ ~used =
+  let st = state t domain in
+  st.vtime <- st.vtime +. (Sim_time.to_sec used *. 256.0 /. st.weight)
+
+let create ?(rate_limit = Sim_time.of_ms 1) domains =
+  let ids = List.map Domain.id domains in
+  if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
+    invalid_arg "Sched_credit2.create: duplicate domains";
+  let t =
+    {
+      rate_limit;
+      doms =
+        Array.of_list
+          (List.map
+             (fun d ->
+               { domain = d; weight = weight_of d; vtime = 0.0; was_runnable = false })
+             domains);
+    }
+  in
+  Scheduler.make ~name:"credit2"
+    ~domains:(fun () -> Array.to_list (Array.map (fun st -> st.domain) t.doms))
+    ~pick:(fun ~now ~remaining ~exclude -> pick t ~now ~remaining ~exclude)
+    ~charge:(fun ~domain ~now ~used -> charge t ~domain ~now ~used)
+    ()

@@ -1,0 +1,18 @@
+(** A Credit2-style scheduler.
+
+    §3.1 mentions Xen's Credit2, "an updated version of Credit ... currently
+    available in a beta version", which the paper excludes from its
+    experiments; it is provided here to complete the scheduler inventory and
+    for the ablation benches.  Credit2 is weight-based and work-conserving
+    with no caps, so it behaves as a {e variable credit} scheduler in the
+    paper's taxonomy; we model it as weighted virtual-time fair sharing
+    (each domain's virtual clock advances inversely to its weight) with a
+    rate limit per dispatch grant.
+
+    Domain weights are taken from [credit% × 256 / 100] when the domain has
+    a credit, so the same V20/V70 setups keep their 2:7 share. *)
+
+val create :
+  ?rate_limit:Sim_time.t -> Hypervisor.Domain.t list -> Hypervisor.Scheduler.t
+(** [rate_limit] bounds one grant (default 1 ms).
+    @raise Invalid_argument on duplicate domains. *)

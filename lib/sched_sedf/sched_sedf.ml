@@ -1,0 +1,134 @@
+module Domain = Hypervisor.Domain
+module Scheduler = Hypervisor.Scheduler
+
+type dom_state = {
+  domain : Domain.t;
+  extra : bool;
+  mutable slice : Sim_time.t; (* s: guaranteed CPU time per period *)
+  mutable credit_pct : float; (* the credit the slice was derived from *)
+  mutable deadline : Sim_time.t; (* end of the current period *)
+  mutable slice_remaining : Sim_time.t;
+}
+
+type t = {
+  period : Sim_time.t;
+  extra_slice : Sim_time.t;
+  doms : dom_state array;
+  mutable rr_extra : int;
+}
+
+let slice_of t pct = Sim_time.of_sec_f (pct /. 100.0 *. Sim_time.to_sec t.period)
+
+let state t d =
+  match Array.find_opt (fun st -> Domain.equal st.domain d) t.doms with
+  | Some st -> st
+  | None -> invalid_arg "Sched_sedf: unknown domain"
+
+(* Lazily roll a domain forward to the period containing [now]; a domain
+   that slept across several periods gets no back-pay (slices do not
+   accumulate). *)
+let refresh t st ~now =
+  if Sim_time.compare now st.deadline >= 0 then begin
+    let late = Sim_time.to_us (Sim_time.sub now st.deadline) in
+    let periods = (late / Sim_time.to_us t.period) + 1 in
+    st.deadline <- Sim_time.add st.deadline (Sim_time.of_us (periods * Sim_time.to_us t.period));
+    st.slice_remaining <- st.slice
+  end
+
+let pick t ~now ~remaining ~exclude =
+  Array.iter (fun st -> refresh t st ~now) t.doms;
+  (* EDF over domains still holding a guaranteed slice. *)
+  let best = ref None in
+  Array.iter
+    (fun st ->
+      if
+        Domain.runnable st.domain
+        && (not (Scheduler.excluded st.domain exclude))
+        && Sim_time.compare st.slice_remaining Sim_time.zero > 0
+      then
+        match !best with
+        | Some b when Sim_time.compare b.deadline st.deadline <= 0 -> ()
+        | Some _ | None -> best := Some st)
+    t.doms;
+  match !best with
+  | Some st ->
+      Some
+        {
+          Scheduler.domain = st.domain;
+          max_slice = Sim_time.min st.slice_remaining remaining;
+        }
+  | None -> (
+      (* Extratime: spare capacity round-robin among willing domains. *)
+      let n = Array.length t.doms in
+      let rec loop i =
+        if i >= n then None
+        else begin
+          let idx = (t.rr_extra + 1 + i) mod n in
+          let st = t.doms.(idx) in
+          if
+            st.extra
+            && Domain.runnable st.domain
+            && not (Scheduler.excluded st.domain exclude)
+          then begin
+            t.rr_extra <- idx;
+            Some
+              {
+                Scheduler.domain = st.domain;
+                max_slice = Sim_time.min t.extra_slice remaining;
+              }
+          end
+          else loop (i + 1)
+        end
+      in
+      loop 0)
+
+let charge t ~domain ~now:_ ~used =
+  let st = state t domain in
+  st.slice_remaining <-
+    (if Sim_time.compare used st.slice_remaining >= 0 then Sim_time.zero
+     else Sim_time.sub st.slice_remaining used)
+
+let set_effective_credit t d pct =
+  if pct < 0.0 then invalid_arg "Sched_sedf.set_effective_credit: negative credit";
+  let st = state t d in
+  st.credit_pct <- pct;
+  st.slice <- slice_of t pct
+
+let effective_credit t d = (state t d).credit_pct
+
+let create ?(period = Sim_time.of_ms 100) ?(extra = true) ?(extra_slice = Sim_time.of_ms 1)
+    domains =
+  if Sim_time.equal period Sim_time.zero then invalid_arg "Sched_sedf.create: zero period";
+  let ids = List.map Domain.id domains in
+  if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
+    invalid_arg "Sched_sedf.create: duplicate domains";
+  let t =
+    {
+      period;
+      extra_slice;
+      doms = [||];
+      rr_extra = 0;
+    }
+  in
+  let doms =
+    Array.of_list
+      (List.map
+         (fun d ->
+           let pct = Domain.initial_credit d in
+           {
+             domain = d;
+             extra;
+             slice = slice_of t pct;
+             credit_pct = pct;
+             deadline = period;
+             slice_remaining = slice_of t pct;
+           })
+         domains)
+  in
+  let t = { t with doms } in
+  Scheduler.make ~name:"sedf"
+    ~domains:(fun () -> Array.to_list (Array.map (fun st -> st.domain) t.doms))
+    ~pick:(fun ~now ~remaining ~exclude -> pick t ~now ~remaining ~exclude)
+    ~charge:(fun ~domain ~now ~used -> charge t ~domain ~now ~used)
+    ~set_effective_credit:(set_effective_credit t)
+    ~effective_credit:(effective_credit t) ()

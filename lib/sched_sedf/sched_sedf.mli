@@ -1,0 +1,25 @@
+(** The Xen SEDF (Simple Earliest Deadline First) scheduler, the paper's
+    {e variable credit} scheduler (§3.1).
+
+    Each domain is configured with a triplet [(s, p, b)]: it is guaranteed
+    [s] of CPU time within every period of length [p], and when [b]
+    (extratime) is set it may additionally receive slices no reserved domain
+    claims.  Guaranteed slices are dispatched earliest-deadline-first; spare
+    capacity is shared round-robin among extratime domains, which makes the
+    scheduler work-conserving — the behaviour behind both Fig. 6/7 (SEDF
+    rescues an exact-loaded VM from a frequency reduction) and Fig. 8 (a
+    thrashing VM devours the host and defeats DVFS).
+
+    The credit percentage of the paper's experiments maps to
+    [s = credit/100 × p]. *)
+
+val create :
+  ?period:Sim_time.t ->
+  ?extra:bool ->
+  ?extra_slice:Sim_time.t ->
+  Hypervisor.Domain.t list ->
+  Hypervisor.Scheduler.t
+(** [period] is every domain's [p] (default 100 ms); [extra] sets the [b]
+    flag of all domains (default true — variable credit); [extra_slice]
+    bounds one extratime grant for round-robin fairness (default 1 ms).
+    @raise Invalid_argument on duplicate domains or a zero period. *)

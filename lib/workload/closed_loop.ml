@@ -1,0 +1,93 @@
+type client = {
+  mutable wakes_at : Sim_time.t; (* end of the current think period *)
+  mutable thinking : bool;
+}
+
+type request = { client : int; submitted : Sim_time.t; mutable remaining : float }
+
+type t = {
+  think_time : float;
+  request_work : float;
+  rng : Prng.t;
+  clients : client array;
+  queue : request Queue.t;
+  mutable completed : int;
+  response : Stats.Running.t;
+}
+
+let create ?(seed = 424242) ~clients ~think_time ~request_work () =
+  if clients <= 0 then invalid_arg "Closed_loop.create: clients must be positive";
+  if not (think_time > 0.0) then invalid_arg "Closed_loop.create: think_time must be positive";
+  if not (request_work > 0.0) then
+    invalid_arg "Closed_loop.create: request_work must be positive";
+  let rng = Prng.create ~seed in
+  {
+    think_time;
+    request_work;
+    rng;
+    clients =
+      Array.init clients (fun _ ->
+          {
+            wakes_at = Sim_time.of_sec_f (Prng.exponential rng ~rate:(1.0 /. think_time));
+            thinking = true;
+          });
+    queue = Queue.create ();
+    completed = 0;
+    response = Stats.Running.create ();
+  }
+
+(* Move clients whose think period ended into the request queue. *)
+let advance t ~now ~dt:_ =
+  Array.iteri
+    (fun i c ->
+      if c.thinking && Sim_time.compare c.wakes_at now <= 0 then begin
+        c.thinking <- false;
+        Queue.push { client = i; submitted = now; remaining = t.request_work } t.queue
+      end)
+    t.clients
+
+let has_work t () = not (Queue.is_empty t.queue)
+
+let execute t ~now ~cpu_time ~speed =
+  let budget = ref (Sim_time.to_sec cpu_time *. speed) in
+  let used_work = ref 0.0 in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty t.queue) do
+    let req = Queue.peek t.queue in
+    if req.remaining <= !budget then begin
+      budget := !budget -. req.remaining;
+      used_work := !used_work +. req.remaining;
+      ignore (Queue.pop t.queue);
+      t.completed <- t.completed + 1;
+      Stats.Running.add t.response (Sim_time.to_sec now -. Sim_time.to_sec req.submitted);
+      let c = t.clients.(req.client) in
+      c.thinking <- true;
+      c.wakes_at <-
+        Sim_time.add now
+          (Sim_time.of_sec_f (Prng.exponential t.rng ~rate:(1.0 /. t.think_time)))
+    end
+    else begin
+      req.remaining <- req.remaining -. !budget;
+      used_work := !used_work +. !budget;
+      budget := 0.0;
+      continue := false
+    end
+  done;
+  Sim_time.min cpu_time (Sim_time.of_sec_f (!used_work /. speed))
+
+let workload t =
+  Workload.make ~name:"closed-loop" ~advance:(fun ~now ~dt -> advance t ~now ~dt)
+    ~has_work:(has_work t)
+    ~execute:(fun ~now ~cpu_time ~speed -> execute t ~now ~cpu_time ~speed)
+    ()
+
+let completed_requests t = t.completed
+let response_times t = t.response
+
+let thinking_clients t ~now =
+  Array.fold_left
+    (fun acc c -> if c.thinking && Sim_time.compare c.wakes_at now > 0 then acc + 1 else acc)
+    0 t.clients
+
+let offered_load t =
+  float_of_int (Array.length t.clients) *. t.request_work /. t.think_time

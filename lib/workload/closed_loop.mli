@@ -1,0 +1,35 @@
+(** Closed-loop interactive clients (httperf's session mode).
+
+    The paper's injector is open-loop (requests arrive regardless of
+    completions).  Interactive latency, however, is a closed-loop
+    phenomenon: each of [clients] users thinks for an exponentially
+    distributed time, submits one request, waits for its completion and
+    thinks again.  Offered load self-throttles under slow service, and the
+    response-time distribution — rather than throughput — is the metric.
+    Used by the scheduler-latency experiments (Credit BOOST). *)
+
+type t
+
+val create :
+  ?seed:int ->
+  clients:int ->
+  think_time:float ->
+  request_work:float ->
+  unit ->
+  t
+(** [think_time] is the mean think time in seconds; [request_work] the
+    service demand per request in absolute seconds.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val workload : t -> Workload.t
+
+val completed_requests : t -> int
+val response_times : t -> Stats.Running.t
+(** Seconds from submission to completion. *)
+
+val thinking_clients : t -> now:Sim_time.t -> int
+(** Clients currently in their think phase (diagnostic). *)
+
+val offered_load : t -> float
+(** The asymptotic absolute work rate if service were instantaneous:
+    [clients * request_work / think_time]. *)

@@ -1,0 +1,81 @@
+type t = {
+  on_rate : float;
+  off_rate : float;
+  mean_on : float;
+  mean_off : float;
+  rng : Prng.t;
+  mutable state : [ `On | `Off ];
+  mutable next_flip : Sim_time.t;
+  mutable transitions : int;
+  mutable pending : float; (* queued absolute work *)
+  mutable carry : float; (* sub-request accumulation *)
+  mutable injected : float;
+  mutable completed : float;
+}
+
+let create ?(seed = 7919) ~on_rate ~off_rate ~mean_on ~mean_off () =
+  if on_rate < 0.0 || off_rate < 0.0 then invalid_arg "Markov_load.create: negative rate";
+  if not (mean_on > 0.0 && mean_off > 0.0) then
+    invalid_arg "Markov_load.create: sojourn means must be positive";
+  let rng = Prng.create ~seed in
+  let first_off = Prng.exponential rng ~rate:(1.0 /. mean_off) in
+  {
+    on_rate;
+    off_rate;
+    mean_on;
+    mean_off;
+    rng;
+    state = `Off;
+    next_flip = Sim_time.of_sec_f first_off;
+    transitions = 0;
+    pending = 0.0;
+    carry = 0.0;
+    injected = 0.0;
+    completed = 0.0;
+  }
+
+let flip t =
+  t.transitions <- t.transitions + 1;
+  let mean = match t.state with `Off -> t.mean_on | `On -> t.mean_off in
+  t.state <- (match t.state with `Off -> `On | `On -> `Off);
+  let sojourn = Prng.exponential t.rng ~rate:(1.0 /. mean) in
+  t.next_flip <- Sim_time.add t.next_flip (Sim_time.of_sec_f (Float.max 1e-6 sojourn))
+
+let advance_state t ~now =
+  while Sim_time.compare t.next_flip now <= 0 do
+    flip t
+  done
+
+let rate t = match t.state with `On -> t.on_rate | `Off -> t.off_rate
+
+let state_at t ~now =
+  advance_state t ~now;
+  t.state
+
+let workload t ~request_work =
+  if not (request_work > 0.0) then invalid_arg "Markov_load.workload: request_work";
+  let advance ~now ~dt =
+    advance_state t ~now;
+    t.carry <- t.carry +. (rate t *. Sim_time.to_sec dt);
+    if t.carry >= request_work then begin
+      let n = Float.to_int (t.carry /. request_work) in
+      let work = float_of_int n *. request_work in
+      t.carry <- t.carry -. work;
+      t.pending <- t.pending +. work;
+      t.injected <- t.injected +. work
+    end
+  in
+  let has_work () = t.pending > 0.0 in
+  let execute ~now:_ ~cpu_time ~speed =
+    let budget = Sim_time.to_sec cpu_time *. speed in
+    let used_work = Float.min budget t.pending in
+    t.pending <- t.pending -. used_work;
+    t.completed <- t.completed +. used_work;
+    Sim_time.min cpu_time (Sim_time.of_sec_f (used_work /. speed))
+  in
+  Workload.make ~name:"markov-load" ~advance ~has_work ~execute ()
+
+let transitions t = t.transitions
+let completed_work t = t.completed
+let injected_work t = t.injected
+let queued_work t = t.pending

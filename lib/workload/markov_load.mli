@@ -1,0 +1,40 @@
+(** Markov-modulated load: a two-state (ON/OFF) arrival process.
+
+    The paper's injector (httperf) produces steady rates per phase; real
+    tenant traffic is burstier.  This modulator flips a {!Web_app}-style
+    rate between a burst rate and an idle rate with exponentially
+    distributed sojourn times — the classic Markov-modulated Poisson
+    process when combined with Poisson arrivals.  Used by the
+    hosting-center example and the failure-injection tests to stress
+    governors with realistic burstiness. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  on_rate:float ->
+  off_rate:float ->
+  mean_on:float ->
+  mean_off:float ->
+  unit ->
+  t
+(** [on_rate]/[off_rate] are absolute work rates in the two states;
+    [mean_on]/[mean_off] are the states' mean durations in seconds.
+    The process starts OFF.
+    @raise Invalid_argument on negative rates or non-positive durations. *)
+
+val workload : t -> request_work:float -> Workload.t
+(** Materialise as a workload: requests of [request_work] absolute seconds
+    arrive at the current state's rate (deterministic accumulation, like
+    {!Web_app}'s [Deterministic] arrival — burstiness comes from the state
+    flips). *)
+
+val state_at : t -> now:Sim_time.t -> [ `On | `Off ]
+(** Current modulation state (after advancing to [now]). *)
+
+val transitions : t -> int
+(** Number of state flips so far. *)
+
+val completed_work : t -> float
+val injected_work : t -> float
+val queued_work : t -> float

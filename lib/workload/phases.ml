@@ -1,0 +1,22 @@
+let exact_rate ~credit_pct =
+  if credit_pct < 0.0 || credit_pct > 100.0 then
+    invalid_arg "Phases.exact_rate: credit out of [0, 100]";
+  credit_pct /. 100.0
+
+let thrashing_rate ?(factor = 3.0) ~credit_pct () =
+  if factor <= 1.0 then invalid_arg "Phases.thrashing_rate: factor must exceed 1";
+  exact_rate ~credit_pct *. factor
+
+let constant ~rate = [ (Sim_time.zero, rate) ]
+
+let three_phase ~active_from ~active_until ~rate =
+  if Sim_time.compare active_until active_from <= 0 then
+    invalid_arg "Phases.three_phase: empty active window";
+  if Sim_time.equal active_from Sim_time.zero then
+    [ (Sim_time.zero, rate); (active_until, 0.0) ]
+  else [ (Sim_time.zero, 0.0); (active_from, rate); (active_until, 0.0) ]
+
+let steps schedule =
+  (* Reuse Web_app's validation by constructing a throwaway instance. *)
+  ignore (Web_app.create ~rate_schedule:schedule ());
+  schedule

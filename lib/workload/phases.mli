@@ -1,0 +1,29 @@
+(** Rate-schedule builders for the paper's execution profiles (§5.3).
+
+    The evaluation drives each VM with a three-phase
+    inactive / active / inactive profile; during the active phase the
+    injector produces either an {e exact} load (100 % of the VM's capacity
+    but not more) or a {e thrashing} load (exceeding the capacity). *)
+
+val exact_rate : credit_pct:float -> float
+(** The absolute work rate that saturates a VM sold [credit_pct] percent of
+    the processor at maximum frequency: [credit_pct / 100].
+    @raise Invalid_argument if the credit is outside \[0, 100\]. *)
+
+val thrashing_rate : ?factor:float -> credit_pct:float -> unit -> float
+(** A rate exceeding the VM's capacity by [factor] (default 3.0).
+    @raise Invalid_argument if [factor <= 1]. *)
+
+val constant : rate:float -> (Sim_time.t * float) list
+(** Active at [rate] from time zero, forever. *)
+
+val three_phase :
+  active_from:Sim_time.t -> active_until:Sim_time.t -> rate:float -> (Sim_time.t * float) list
+(** Inactive, then [rate] during [\[active_from, active_until)], then
+    inactive again.
+    @raise Invalid_argument if [active_until <= active_from]. *)
+
+val steps : (Sim_time.t * float) list -> (Sim_time.t * float) list
+(** Validates and returns an arbitrary stepwise schedule (sorted, rates
+    non-negative) — convenience for custom scenarios.
+    @raise Invalid_argument like {!Web_app.create}. *)

@@ -1,0 +1,75 @@
+type t = {
+  total_work : float;
+  duty_cycle : float;
+  mutable remaining : float;
+  mutable tokens : Sim_time.t; (* accumulated CPU-time demand *)
+  mutable start_time : Sim_time.t option;
+  mutable finish_time : Sim_time.t option;
+}
+
+(* Demand tokens saturate at one accounting-period's worth so a long idle
+   stretch cannot be repaid as a burst exceeding the duty cycle. *)
+let token_cap = Sim_time.of_ms 30
+
+let create ?(duty_cycle = 1.0) ~work () =
+  if not (work > 0.0) then invalid_arg "Pi_app.create: work must be positive";
+  if not (duty_cycle > 0.0 && duty_cycle <= 1.0) then
+    invalid_arg "Pi_app.create: duty_cycle must be in (0, 1]";
+  {
+    total_work = work;
+    duty_cycle;
+    remaining = work;
+    tokens = Sim_time.zero;
+    start_time = None;
+    finish_time = None;
+  }
+
+let advance t ~now:_ ~dt =
+  if t.remaining > 0.0 then begin
+    let earned = Sim_time.of_sec_f (t.duty_cycle *. Sim_time.to_sec dt) in
+    t.tokens <- Sim_time.min token_cap (Sim_time.add t.tokens earned)
+  end
+
+let has_work t () = t.remaining > 0.0 && Sim_time.compare t.tokens Sim_time.zero > 0
+
+let execute t ~now ~cpu_time ~speed =
+  if t.remaining <= 0.0 then Sim_time.zero
+  else begin
+    if t.start_time = None then t.start_time <- Some now;
+    (* Round the finishing slice up to the clock resolution, otherwise a
+       residue smaller than one microsecond of work could never complete. *)
+    let time_to_finish =
+      Sim_time.max (Sim_time.of_us 1) (Sim_time.of_sec_f (t.remaining /. speed))
+    in
+    let used = Sim_time.min cpu_time (Sim_time.min t.tokens time_to_finish) in
+    t.tokens <- Sim_time.sub t.tokens used;
+    t.remaining <- t.remaining -. (Sim_time.to_sec used *. speed);
+    if t.remaining <= 1e-9 then begin
+      t.remaining <- 0.0;
+      if t.finish_time = None then t.finish_time <- Some (Sim_time.add now used)
+    end;
+    used
+  end
+
+let workload t =
+  Workload.make ~name:"pi-app" ~advance:(fun ~now ~dt -> advance t ~now ~dt)
+    ~has_work:(has_work t)
+    ~execute:(fun ~now ~cpu_time ~speed -> execute t ~now ~cpu_time ~speed)
+    ()
+
+let total_work t = t.total_work
+let remaining_work t = t.remaining
+let finished t = t.remaining <= 0.0
+let start_time t = t.start_time
+let finish_time t = t.finish_time
+
+let execution_time t =
+  match (t.start_time, t.finish_time) with
+  | Some s, Some f -> Some (Sim_time.sub f s)
+  | _ -> None
+
+let reset t =
+  t.remaining <- t.total_work;
+  t.tokens <- Sim_time.zero;
+  t.start_time <- None;
+  t.finish_time <- None

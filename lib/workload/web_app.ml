@@ -1,0 +1,139 @@
+type arrival = Deterministic | Poisson of Prng.t
+
+type request = { arrived : Sim_time.t; mutable remaining : float }
+
+type t = {
+  request_work : float;
+  arrival : arrival;
+  timeout : Sim_time.t option;
+  schedule : (Sim_time.t * float) array;
+  queue : request Queue.t;
+  mutable carry : float; (* fractional request accumulation (deterministic) *)
+  mutable injected : int;
+  mutable completed : int;
+  mutable timed_out : int;
+  mutable injected_work : float;
+  mutable completed_work : float;
+  response : Stats.Running.t;
+}
+
+let validate_schedule schedule =
+  let rec check = function
+    | [] | [ _ ] -> ()
+    | (t0, _) :: ((t1, _) :: _ as rest) ->
+        if Sim_time.compare t0 t1 >= 0 then
+          invalid_arg "Web_app.create: schedule must be sorted strictly by time";
+        check rest
+  in
+  check schedule;
+  List.iter
+    (fun (_, r) -> if r < 0.0 then invalid_arg "Web_app.create: negative rate")
+    schedule
+
+let create ?(request_work = 0.005) ?(arrival = Deterministic) ?timeout ~rate_schedule () =
+  if not (request_work > 0.0) then invalid_arg "Web_app.create: request_work must be positive";
+  (match timeout with
+  | Some d when Sim_time.equal d Sim_time.zero -> invalid_arg "Web_app.create: zero timeout"
+  | Some _ | None -> ());
+  validate_schedule rate_schedule;
+  {
+    request_work;
+    arrival;
+    timeout;
+    schedule = Array.of_list rate_schedule;
+    queue = Queue.create ();
+    carry = 0.0;
+    injected = 0;
+    completed = 0;
+    timed_out = 0;
+    injected_work = 0.0;
+    completed_work = 0.0;
+    response = Stats.Running.create ();
+  }
+
+let current_rate t ~now =
+  let rate = ref 0.0 in
+  Array.iter (fun (time, r) -> if Sim_time.compare time now <= 0 then rate := r) t.schedule;
+  !rate
+
+let inject t ~now n =
+  for _ = 1 to n do
+    Queue.push { arrived = now; remaining = t.request_work } t.queue;
+    t.injected <- t.injected + 1;
+    t.injected_work <- t.injected_work +. t.request_work
+  done
+
+(* Drop queued requests older than the timeout (httperf clients give up);
+   the head of the queue may be in service, but a real client's abandonment
+   aborts the request wherever it is. *)
+let expire t ~now =
+  match t.timeout with
+  | None -> ()
+  | Some limit ->
+      let deadline_passed req = Sim_time.compare (Sim_time.diff now req.arrived) limit > 0 in
+      let continue = ref true in
+      while (not (Queue.is_empty t.queue)) && !continue do
+        if deadline_passed (Queue.peek t.queue) then begin
+          ignore (Queue.pop t.queue);
+          t.timed_out <- t.timed_out + 1
+        end
+        else continue := false
+      done
+
+let advance t ~now ~dt =
+  expire t ~now;
+  let rate = current_rate t ~now in
+  if rate > 0.0 then begin
+    let expected = rate *. Sim_time.to_sec dt /. t.request_work in
+    match t.arrival with
+    | Deterministic ->
+        t.carry <- t.carry +. expected;
+        let n = int_of_float t.carry in
+        t.carry <- t.carry -. float_of_int n;
+        inject t ~now n
+    | Poisson rng -> inject t ~now (Prng.poisson rng ~mean:expected)
+  end
+
+let has_work t () = not (Queue.is_empty t.queue)
+
+let execute t ~now ~cpu_time ~speed =
+  let budget = ref (Sim_time.to_sec cpu_time *. speed) in
+  let used_work = ref 0.0 in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty t.queue) do
+    let req = Queue.peek t.queue in
+    if req.remaining <= !budget then begin
+      budget := !budget -. req.remaining;
+      used_work := !used_work +. req.remaining;
+      req.remaining <- 0.0;
+      ignore (Queue.pop t.queue);
+      t.completed <- t.completed + 1;
+      t.completed_work <- t.completed_work +. t.request_work;
+      Stats.Running.add t.response (Sim_time.to_sec now -. Sim_time.to_sec req.arrived)
+    end
+    else begin
+      req.remaining <- req.remaining -. !budget;
+      used_work := !used_work +. !budget;
+      budget := 0.0;
+      continue := false
+    end
+  done;
+  Sim_time.min cpu_time (Sim_time.of_sec_f (!used_work /. speed))
+
+let workload t =
+  Workload.make ~name:"web-app" ~advance:(fun ~now ~dt -> advance t ~now ~dt)
+    ~has_work:(has_work t)
+    ~execute:(fun ~now ~cpu_time ~speed -> execute t ~now ~cpu_time ~speed)
+    ()
+
+let queue_length t = Queue.length t.queue
+
+let queued_work t = Queue.fold (fun acc req -> acc +. req.remaining) 0.0 t.queue
+
+let injected_requests t = t.injected
+let completed_requests t = t.completed
+let injected_work t = t.injected_work
+let completed_work t = t.completed_work
+let response_times t = t.response
+
+let timed_out_requests t = t.timed_out

@@ -1,0 +1,31 @@
+type t = {
+  name : string;
+  advance : now:Sim_time.t -> dt:Sim_time.t -> unit;
+  has_work : unit -> bool;
+  execute : now:Sim_time.t -> cpu_time:Sim_time.t -> speed:float -> Sim_time.t;
+}
+
+let make ~name ?(advance = fun ~now:_ ~dt:_ -> ()) ~has_work ~execute () =
+  { name; advance; has_work; execute }
+
+let name t = t.name
+let advance t ~now ~dt = t.advance ~now ~dt
+let has_work t = t.has_work ()
+
+let execute t ~now ~cpu_time ~speed =
+  if not (speed > 0.0) then invalid_arg "Workload.execute: speed must be positive";
+  let used = t.execute ~now ~cpu_time ~speed in
+  if Sim_time.compare used cpu_time > 0 then
+    invalid_arg
+      (Printf.sprintf "Workload.execute: %s consumed more time than offered" t.name);
+  used
+
+let idle () =
+  make ~name:"idle" ~has_work:(fun () -> false)
+    ~execute:(fun ~now:_ ~cpu_time:_ ~speed:_ -> Sim_time.zero)
+    ()
+
+let busy_loop () =
+  make ~name:"busy-loop" ~has_work:(fun () -> true)
+    ~execute:(fun ~now:_ ~cpu_time ~speed:_ -> cpu_time)
+    ()

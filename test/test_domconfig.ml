@@ -1,0 +1,117 @@
+(* Tests for the xl.cfg-style configuration parser and builder. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float_eps eps = Alcotest.(check (float eps))
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+
+let err = function
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg -> msg
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+let sample =
+  {|
+# a comment
+host arch=optiplex-755 scheduler=pas governor=none duration=120
+
+domain name=Dom0 credit=10 dom0=true workload=idle
+domain name=V20  credit=20 workload=web rate=0.2 from=10 until=100
+domain name=V70  credit=70 workload=pi work=5 duty=0.5
+|}
+
+let parse_full_config () =
+  let cfg = ok (Domconfig.parse sample) in
+  check_int "three domains" 3 (List.length cfg.Domconfig.domains);
+  check_bool "pas scheduler" true (cfg.Domconfig.scheduler = Domconfig.Pas_sched);
+  check_bool "no governor" true (cfg.Domconfig.governor = Domconfig.No_governor);
+  check_float_eps 1e-9 "duration" 120.0 cfg.Domconfig.duration_s;
+  let v70 = List.nth cfg.Domconfig.domains 2 in
+  check_bool "pi workload" true
+    (match v70.Domconfig.workload with Domconfig.Pi { work = 5.0; duty = 0.5 } -> true | _ -> false)
+
+let parse_defaults () =
+  let cfg = ok (Domconfig.parse "domain name=a credit=50") in
+  check_bool "default scheduler credit" true (cfg.Domconfig.scheduler = Domconfig.Credit);
+  check_bool "default governor stable" true (cfg.Domconfig.governor = Domconfig.Stable);
+  let d = List.hd cfg.Domconfig.domains in
+  check_int "default weight" 256 d.Domconfig.weight;
+  check_int "default vcpus" 1 d.Domconfig.vcpus;
+  check_bool "default workload idle" true (d.Domconfig.workload = Domconfig.Idle)
+
+let error_cases () =
+  let check_error name input fragment =
+    let msg = err (Domconfig.parse input) in
+    check_bool (name ^ ": " ^ msg) true (contains msg fragment)
+  in
+  check_error "empty" "" "no domain";
+  check_error "bad directive" "frobnicate name=x" "unknown directive";
+  check_error "bad pair" "domain name" "key=value";
+  check_error "unknown key" "domain name=a credit=10 colour=red" "unknown key";
+  check_error "missing name" "domain credit=10" "requires name";
+  check_error "missing credit" "domain name=a" "requires credit";
+  check_error "bad number" "domain name=a credit=lots" "not a number";
+  check_error "bad scheduler" "host scheduler=cfs\ndomain name=a credit=1" "unknown scheduler";
+  check_error "bad governor" "host governor=warp\ndomain name=a credit=1" "unknown governor";
+  check_error "bad arch" "host arch=z80\ndomain name=a credit=1" "unknown architecture";
+  check_error "duplicate domain" "domain name=a credit=1\ndomain name=a credit=2" "duplicate";
+  check_error "web needs rate" "domain name=a credit=1 workload=web" "requires rate";
+  check_error "pi needs work" "domain name=a credit=1 workload=pi" "requires work";
+  check_error "bad duration" "host duration=-5\ndomain name=a credit=1" "duration"
+
+let error_line_numbers () =
+  let msg = err (Domconfig.parse "domain name=a credit=1\n\ndomain name=b credit=oops") in
+  check_bool "points at line 3" true (contains msg "line 3")
+
+let roundtrip_pp () =
+  let cfg = ok (Domconfig.parse sample) in
+  let rendered = Format.asprintf "%a" Domconfig.pp_spec cfg in
+  let reparsed = ok (Domconfig.parse rendered) in
+  check_int "same domain count" (List.length cfg.Domconfig.domains)
+    (List.length reparsed.Domconfig.domains);
+  check_bool "same scheduler" true (reparsed.Domconfig.scheduler = cfg.Domconfig.scheduler)
+
+let build_and_run () =
+  let cfg = ok (Domconfig.parse sample) in
+  let built = Domconfig.build cfg in
+  Hypervisor.Host.run_for built.Domconfig.host built.Domconfig.duration;
+  check_bool "pas exposed" true (built.Domconfig.pas <> None);
+  let _, v20, _ =
+    List.find (fun (s, _, _) -> s.Domconfig.name = "V20") built.Domconfig.domains
+  in
+  (* Active 90 s at 0.2 abs/s on a PAS host: 18 abs-seconds of work run
+     under compensation -> ~90 s of wall-clock at 20% absolute. *)
+  check_bool "V20 ran" true (Sim_time.to_sec (Hypervisor.Domain.cpu_time v20) > 20.0);
+  let _, _, pi_app =
+    List.find (fun (s, _, _) -> s.Domconfig.name = "V70") built.Domconfig.domains
+  in
+  match pi_app with
+  | Domconfig.App_pi pi -> check_bool "pi finished" true (Workloads.Pi_app.finished pi)
+  | _ -> Alcotest.fail "expected a pi handle"
+
+let parse_file_missing () =
+  match Domconfig.parse_file "/nonexistent/path.cfg" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "domconfig"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "full config" `Quick parse_full_config;
+          Alcotest.test_case "defaults" `Quick parse_defaults;
+          Alcotest.test_case "error cases" `Quick error_cases;
+          Alcotest.test_case "error line numbers" `Quick error_line_numbers;
+          Alcotest.test_case "pp roundtrip" `Quick roundtrip_pp;
+          Alcotest.test_case "parse_file missing" `Quick parse_file_missing;
+        ] );
+      ("build", [ Alcotest.test_case "build and run" `Quick build_and_run ]);
+    ]

@@ -1,0 +1,158 @@
+(* Tests for the experiment layer: rigs, scenario runner, registry and
+   experiment output plumbing. *)
+
+module Scenario = Experiments.Scenario
+module Rig = Experiments.Rig
+module Registry = Experiments.Registry
+module Experiment = Experiments.Experiment
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float_eps eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Rig *)
+
+let rig_pi_baseline () =
+  (* Full credit at maximum frequency: execution time = work. *)
+  check_float_eps 0.05 "T = W" 5.0 (Rig.run_pi ~work:5.0 ())
+
+let rig_pi_frequency_scaling () =
+  let t = Rig.run_pi ~freq:1600 ~work:5.0 () in
+  check_float_eps 0.05 "T = W / ratio" (5.0 *. 2667.0 /. 1600.0) t
+
+let rig_pi_credit_scaling () =
+  let t = Rig.run_pi ~credit:25.0 ~work:5.0 () in
+  check_float_eps 0.2 "T = W / credit" 20.0 t
+
+let rig_pi_timeout () =
+  Alcotest.check_raises "does not finish" (Failure "Rig.run_pi: job did not finish in time")
+    (fun () ->
+      ignore (Rig.run_pi ~max_sim_time:(Sim_time.of_sec 10) ~credit:10.0 ~work:50.0 ()))
+
+let rig_measure_load () =
+  let load = Rig.measure_load ~measure:(Sim_time.of_sec 30) ~rate:0.25 () in
+  check_float_eps 0.01 "load = rate / speed at fmax" 0.25 load;
+  let load_min = Rig.measure_load ~freq:1600 ~measure:(Sim_time.of_sec 30) ~rate:0.25 () in
+  check_float_eps 0.01 "load scales with 1/speed" (0.25 *. 2667.0 /. 1600.0) load_min
+
+let rig_measure_cf_ideal () =
+  check_float_eps 0.01 "optiplex cf = 1" 1.0 (Rig.measure_cf 1600)
+
+let rig_measure_cf_nonlinear () =
+  let arch = Cpu_model.Arch.elite_8300 in
+  check_float_eps 0.01 "i7 cf_min recovered" 0.86206 (Rig.measure_cf ~arch 1600)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario *)
+
+let scenario_phases () =
+  let r = Scenario.run (Scenario.spec ~scale:0.02 ()) in
+  let a_lo, a_hi = Scenario.phase_bounds r Scenario.A in
+  check_bool "phase A non-empty" true (Sim_time.compare a_hi a_lo > 0);
+  (* V20 active alone in phase A. *)
+  check_float_eps 2.0 "V20 active in A" 20.0 (Scenario.phase_mean r Scenario.A (Scenario.v20_load r));
+  check_float_eps 2.0 "V70 idle in A" 0.0 (Scenario.phase_mean r Scenario.A (Scenario.v70_load r));
+  check_float_eps 3.0 "V70 active in C" 70.0 (Scenario.phase_mean r Scenario.C (Scenario.v70_load r));
+  check_bool "deficit non-negative" true (Scenario.sla_deficit r (Scenario.v20 r) >= 0.0)
+
+let scenario_pas_exposed () =
+  let r = Scenario.run (Scenario.spec ~sched:Scenario.Pas_scheduler ~gov:Scenario.No_governor ~scale:0.01 ()) in
+  check_bool "pas instance" true (Scenario.pas r <> None)
+
+let scenario_invalid_scale () =
+  Alcotest.check_raises "scale" (Invalid_argument "Scenario.spec: scale must be positive")
+    (fun () -> ignore (Scenario.spec ~scale:0.0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Registry and outputs *)
+
+let registry_ids_unique () =
+  let ids = Registry.ids () in
+  check_int "20 experiments" 20 (List.length ids);
+  check_int "unique" (List.length ids) (List.length (List.sort_uniq String.compare ids))
+
+let registry_find () =
+  check_bool "fig5" true (Registry.find "fig5" <> None);
+  check_bool "table2" true (Registry.find "table2" <> None);
+  check_bool "missing" true (Registry.find "fig99" = None)
+
+let registry_covers_paper () =
+  let ids = Registry.ids () in
+  List.iter
+    (fun id -> check_bool (id ^ " present") true (List.mem id ids))
+    [
+      "validation"; "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
+      "fig10"; "table1"; "table2"; "ablation-impl"; "ablation-energy"; "ablation-smp";
+      "ablation-cluster"; "ablation-window"; "ablation-sampling";
+    ]
+
+let experiment_output_and_csv () =
+  match Registry.find "fig2" with
+  | None -> Alcotest.fail "fig2 missing"
+  | Some e ->
+      let output = e.Experiment.run ~scale:0.01 in
+      check_bool "has plots" true (List.length output.Experiment.plots > 0);
+      check_bool "has frames" true (List.length output.Experiment.frames > 0);
+      let dir = Filename.concat (Filename.get_temp_dir_name ()) "dvfs-test-csv" in
+      let written = Experiment.save_csvs output ~dir in
+      List.iter
+        (fun path ->
+          check_bool (path ^ " exists") true (Sys.file_exists path);
+          Sys.remove path)
+        written
+
+let experiment_print_smoke () =
+  match Registry.find "fig2" with
+  | None -> Alcotest.fail "fig2 missing"
+  | Some e ->
+      let output = e.Experiment.run ~scale:0.01 in
+      let buf = Buffer.create 1024 in
+      let ppf = Format.formatter_of_buffer buf in
+      Experiment.print ppf output;
+      Format.pp_print_flush ppf ();
+      check_bool "mentions id" true (String.length (Buffer.contents buf) > 100)
+
+let extension_experiments_run () =
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | None -> Alcotest.failf "%s missing" id
+      | Some e ->
+          let output = e.Experiment.run ~scale:0.05 in
+          check_bool (id ^ " produced a summary") true
+            (String.length (Table.render output.Experiment.summary) > 40))
+    [ "ablation-smp"; "ablation-window"; "ablation-sampling" ]
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "rig",
+        [
+          Alcotest.test_case "pi baseline" `Quick rig_pi_baseline;
+          Alcotest.test_case "pi frequency scaling" `Quick rig_pi_frequency_scaling;
+          Alcotest.test_case "pi credit scaling" `Quick rig_pi_credit_scaling;
+          Alcotest.test_case "pi timeout" `Quick rig_pi_timeout;
+          Alcotest.test_case "measure load" `Quick rig_measure_load;
+          Alcotest.test_case "measure cf (ideal)" `Quick rig_measure_cf_ideal;
+          Alcotest.test_case "measure cf (i7)" `Quick rig_measure_cf_nonlinear;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "phases" `Quick scenario_phases;
+          Alcotest.test_case "pas exposed" `Quick scenario_pas_exposed;
+          Alcotest.test_case "invalid scale" `Quick scenario_invalid_scale;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "ids unique" `Quick registry_ids_unique;
+          Alcotest.test_case "find" `Quick registry_find;
+          Alcotest.test_case "covers the paper" `Quick registry_covers_paper;
+        ] );
+      ( "output",
+        [
+          Alcotest.test_case "csv save" `Quick experiment_output_and_csv;
+          Alcotest.test_case "print" `Quick experiment_print_smoke;
+          Alcotest.test_case "extension experiments" `Slow extension_experiments_run;
+        ] );
+    ]

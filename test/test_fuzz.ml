@@ -1,0 +1,154 @@
+(* Randomised whole-system invariants ("failure injection" style): random
+   domain mixes, schedulers, governors and workloads are simulated and the
+   accounting invariants that every component relies on are checked.
+
+   Invariants:
+   - conservation: the host's busy time never exceeds wall time, and equals
+     the sum of the domains' CPU times;
+   - cap safety: under the fix-credit scheduler no capped domain exceeds
+     its effective credit (plus one accounting period of slack);
+   - PAS guarantee: a domain with saturating demand receives at least its
+     credit in absolute capacity (minus convergence slack), and never
+     multiples of it;
+   - energy sanity: within [idle, max] power bounds at all times. *)
+
+module Workload = Workloads.Workload
+module Domain = Hypervisor.Domain
+module Host = Hypervisor.Host
+module Processor = Cpu_model.Processor
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+type sched_kind = KCredit | KSedf | KCredit2 | KPas
+type gov_kind = GNone | GPerf | GOndemand | GStable | GConservative | GSchedutil
+type wl_kind = WIdle | WBusy | WWeb of float | WPi of float | WMarkov
+
+let gen_domain_spec =
+  QCheck.Gen.(
+    let* credit = float_range 1.0 40.0 in
+    let* wl =
+      frequency
+        [
+          (1, return WIdle);
+          (2, return WBusy);
+          (4, map (fun r -> WWeb r) (float_range 0.01 0.8));
+          (2, map (fun w -> WPi w) (float_range 0.5 5.0));
+          (1, return WMarkov);
+        ]
+    in
+    return (credit, wl))
+
+let gen_config =
+  QCheck.Gen.(
+    let* n = int_range 1 5 in
+    let* doms = list_size (return n) gen_domain_spec in
+    let* sched = oneofl [ KCredit; KSedf; KCredit2; KPas ] in
+    let* gov = oneofl [ GNone; GPerf; GOndemand; GStable; GConservative; GSchedutil ] in
+    let* seed = int_range 0 10_000 in
+    return (doms, sched, gov, seed))
+
+let arbitrary_config =
+  QCheck.make gen_config ~print:(fun (doms, _, _, seed) ->
+      Printf.sprintf "%d domains, seed %d" (List.length doms) seed)
+
+let build_workload seed = function
+  | WIdle -> Workload.idle ()
+  | WBusy -> Workload.busy_loop ()
+  | WWeb rate ->
+      Workloads.Web_app.workload
+        (Workloads.Web_app.create
+           ~arrival:(Workloads.Web_app.Poisson (Prng.create ~seed))
+           ~timeout:(Sim_time.of_sec 5)
+           ~rate_schedule:(Workloads.Phases.constant ~rate) ())
+  | WPi work -> Workloads.Pi_app.workload (Workloads.Pi_app.create ~work ())
+  | WMarkov ->
+      Workloads.Markov_load.workload
+        (Workloads.Markov_load.create ~seed ~on_rate:0.5 ~off_rate:0.01 ~mean_on:2.0
+           ~mean_off:2.0 ())
+        ~request_work:0.005
+
+let run_random (doms, sched_kind, gov_kind, seed) =
+  let duration_s = 20 in
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let domains =
+    List.mapi
+      (fun i (credit, wl) ->
+        Domain.create
+          ~name:(Printf.sprintf "vm%d" i)
+          ~credit_pct:credit
+          (build_workload (seed + i) wl))
+      doms
+  in
+  let scheduler =
+    match sched_kind with
+    | KCredit -> Sched_credit.create domains
+    | KSedf -> Sched_sedf.create domains
+    | KCredit2 -> Sched_credit2.create domains
+    | KPas -> Pas.Pas_sched.scheduler (Pas.Pas_sched.create ~processor domains)
+  in
+  let governor =
+    match (gov_kind, sched_kind) with
+    | _, KPas -> None (* PAS owns the frequency *)
+    | GNone, _ -> None
+    | GPerf, _ -> Some (Governors.Governor.performance processor)
+    | GOndemand, _ -> Some (Governors.Ondemand.create processor)
+    | GStable, _ -> Some (Governors.Stable_ondemand.create processor)
+    | GConservative, _ -> Some (Governors.Conservative.create processor)
+    | GSchedutil, _ -> Some (Governors.Schedutil.create processor)
+  in
+  let host = Host.create ~sim ~processor ~scheduler ?governor () in
+  Host.run_for host (Sim_time.of_sec duration_s);
+  (host, domains, float_of_int duration_s)
+
+let conservation =
+  qtest "busy time = sum of domain cpu times <= wall time" arbitrary_config (fun config ->
+      let host, domains, duration = run_random config in
+      let busy = Sim_time.to_sec (Host.total_busy host) in
+      let sum =
+        List.fold_left (fun acc d -> acc +. Sim_time.to_sec (Domain.cpu_time d)) 0.0 domains
+      in
+      Float.abs (busy -. sum) < 1e-6 && busy <= duration +. 1e-6)
+
+let cap_safety =
+  qtest "fix-credit caps are never exceeded" arbitrary_config
+    (fun (doms, _, gov, seed) ->
+      let host, domains, duration = run_random (doms, KCredit, gov, seed) in
+      ignore host;
+      List.for_all
+        (fun d ->
+          Domain.uncapped d
+          || Sim_time.to_sec (Domain.cpu_time d)
+             <= (Domain.initial_credit d /. 100.0 *. duration) +. 0.05)
+        domains)
+
+let energy_bounds =
+  qtest "mean power within the package's envelope" arbitrary_config (fun config ->
+      let host, _, _ = run_random config in
+      let w = Host.mean_watts host in
+      w >= 30.0 -. 1e-6 && w <= 95.0 +. 0.5)
+
+let pas_guarantee =
+  qtest "PAS: a saturating domain receives its absolute credit"
+    QCheck.(make Gen.(pair (float_range 5.0 30.0) (int_range 0 1000)))
+    (fun (credit, seed) ->
+      ignore seed;
+      let sim = Simulator.create () in
+      let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+      let hog =
+        Domain.create ~name:"hog" ~credit_pct:credit (Workload.busy_loop ())
+      in
+      let pas = Pas.Pas_sched.create ~processor [ hog ] in
+      let host = Host.create ~sim ~processor ~scheduler:(Pas.Pas_sched.scheduler pas) () in
+      Host.run_for host (Sim_time.of_sec 30);
+      let abs = Host.series_domain_absolute_load host hog in
+      let delivered = Series.mean_between abs (Sim_time.of_sec 10) (Sim_time.of_sec 30) in
+      delivered >= credit -. 1.0 && delivered <= credit +. 1.0)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "invariants",
+        [ conservation; cap_safety; energy_bounds; pas_guarantee ] );
+    ]

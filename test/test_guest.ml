@@ -1,0 +1,95 @@
+(* Tests for the guest OS layer: processes and round-robin scheduling. *)
+
+module Workload = Workloads.Workload
+module Process = Guest.Process
+module Guest_os = Guest.Guest_os
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float_eps eps = Alcotest.(check (float eps))
+let ms = Sim_time.of_ms
+
+let process_identity () =
+  let a = Process.create ~name:"a" (Workload.idle ()) in
+  let b = Process.create ~name:"b" (Workload.idle ()) in
+  check_bool "unique pids" true (Process.pid a <> Process.pid b);
+  Alcotest.(check string) "name" "a" (Process.name a);
+  check_bool "idle not runnable" false (Process.runnable a)
+
+let process_charge () =
+  let p = Process.create ~name:"p" (Workload.busy_loop ()) in
+  check_int "zero" 0 (Sim_time.to_us (Process.cpu_time p));
+  Process.charge p (ms 3);
+  Process.charge p (ms 2);
+  check_int "accumulates" 5_000 (Sim_time.to_us (Process.cpu_time p));
+  check_bool "busy runnable" true (Process.runnable p)
+
+let guest_round_robin_fair () =
+  let a = Process.create ~name:"a" (Workload.busy_loop ()) in
+  let b = Process.create ~name:"b" (Workload.busy_loop ()) in
+  let os = Guest_os.create ~timeslice:(ms 2) ~name:"guest" [ a; b ] in
+  let w = Guest_os.workload os in
+  (* Offer 100 ms; both processes are CPU-hungry so they should split it. *)
+  let used = Workload.execute w ~now:Sim_time.zero ~cpu_time:(ms 100) ~speed:1.0 in
+  check_int "all consumed" 100_000 (Sim_time.to_us used);
+  let ta = Sim_time.to_sec (Process.cpu_time a) and tb = Sim_time.to_sec (Process.cpu_time b) in
+  check_float_eps 0.003 "fair split" ta tb;
+  check_int "total tracked" 100_000 (Sim_time.to_us (Guest_os.cpu_time os))
+
+let guest_skips_idle_process () =
+  let busy = Process.create ~name:"busy" (Workload.busy_loop ()) in
+  let idle = Process.create ~name:"idle" (Workload.idle ()) in
+  let os = Guest_os.create ~name:"guest" [ idle; busy ] in
+  let w = Guest_os.workload os in
+  let used = Workload.execute w ~now:Sim_time.zero ~cpu_time:(ms 10) ~speed:1.0 in
+  check_int "busy got everything" 10_000 (Sim_time.to_us (Process.cpu_time busy));
+  check_int "idle got nothing" 0 (Sim_time.to_us (Process.cpu_time idle));
+  check_int "used all" 10_000 (Sim_time.to_us used)
+
+let guest_not_runnable_when_all_idle () =
+  let os = Guest_os.create ~name:"guest" [ Process.create ~name:"i" (Workload.idle ()) ] in
+  check_bool "idle guest" false (Workload.has_work (Guest_os.workload os))
+
+let guest_empty_is_idle () =
+  let os = Guest_os.create ~name:"guest" [] in
+  check_bool "no processes" false (Workload.has_work (Guest_os.workload os))
+
+let guest_spawn () =
+  let os = Guest_os.create ~name:"guest" [] in
+  Guest_os.spawn os (Process.create ~name:"late" (Workload.busy_loop ()));
+  check_int "one process" 1 (List.length (Guest_os.processes os))
+
+let guest_advance_propagates () =
+  let pi = Workloads.Pi_app.create ~work:0.001 () in
+  let p = Process.create ~name:"pi" (Workloads.Pi_app.workload pi) in
+  let os = Guest_os.create ~name:"guest" [ p ] in
+  let w = Guest_os.workload os in
+  check_bool "no tokens before advance" false (Workload.has_work w);
+  Workload.advance w ~now:Sim_time.zero ~dt:(ms 5);
+  check_bool "tokens after advance" true (Workload.has_work w);
+  ignore (Workload.execute w ~now:Sim_time.zero ~cpu_time:(ms 5) ~speed:1.0);
+  check_bool "finished through two levels" true (Workloads.Pi_app.finished pi)
+
+let guest_zero_timeslice () =
+  Alcotest.check_raises "timeslice" (Invalid_argument "Guest_os.create: zero timeslice")
+    (fun () -> ignore (Guest_os.create ~timeslice:Sim_time.zero ~name:"g" []))
+
+let () =
+  Alcotest.run "guest"
+    [
+      ( "process",
+        [
+          Alcotest.test_case "identity" `Quick process_identity;
+          Alcotest.test_case "charge" `Quick process_charge;
+        ] );
+      ( "guest_os",
+        [
+          Alcotest.test_case "round robin fair" `Quick guest_round_robin_fair;
+          Alcotest.test_case "skips idle process" `Quick guest_skips_idle_process;
+          Alcotest.test_case "all idle" `Quick guest_not_runnable_when_all_idle;
+          Alcotest.test_case "empty guest" `Quick guest_empty_is_idle;
+          Alcotest.test_case "spawn" `Quick guest_spawn;
+          Alcotest.test_case "advance propagates" `Quick guest_advance_propagates;
+          Alcotest.test_case "zero timeslice" `Quick guest_zero_timeslice;
+        ] );
+    ]

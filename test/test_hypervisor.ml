@@ -1,0 +1,231 @@
+(* Tests for the hypervisor: domains, the scheduler interface and the host's
+   dispatch/accounting/metrics machinery. *)
+
+module Workload = Workloads.Workload
+module Domain = Hypervisor.Domain
+module Scheduler = Hypervisor.Scheduler
+module Host = Hypervisor.Host
+module Processor = Cpu_model.Processor
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float_eps eps = Alcotest.(check (float eps))
+let ms = Sim_time.of_ms
+let sec = Sim_time.of_sec
+
+(* ------------------------------------------------------------------ *)
+(* Domain *)
+
+let domain_create () =
+  let d = Domain.create ~name:"vm" ~credit_pct:25.0 (Workload.busy_loop ()) in
+  Alcotest.(check string) "name" "vm" (Domain.name d);
+  check_float_eps 1e-9 "credit" 25.0 (Domain.initial_credit d);
+  check_int "weight default" 256 (Domain.weight d);
+  check_bool "not dom0" false (Domain.is_dom0 d);
+  check_bool "not uncapped" false (Domain.uncapped d);
+  check_bool "runnable" true (Domain.runnable d)
+
+let domain_uncapped () =
+  let d = Domain.create ~name:"best-effort" ~credit_pct:0.0 (Workload.idle ()) in
+  check_bool "uncapped" true (Domain.uncapped d);
+  check_bool "idle not runnable" false (Domain.runnable d)
+
+let domain_invalid () =
+  Alcotest.check_raises "credit" (Invalid_argument "Domain.create: credit out of [0, 100]")
+    (fun () -> ignore (Domain.create ~name:"x" ~credit_pct:150.0 (Workload.idle ())));
+  Alcotest.check_raises "weight" (Invalid_argument "Domain.create: weight must be positive")
+    (fun () -> ignore (Domain.create ~weight:0 ~name:"x" ~credit_pct:10.0 (Workload.idle ())))
+
+let domain_charge_and_identity () =
+  let a = Domain.create ~name:"a" ~credit_pct:10.0 (Workload.idle ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:10.0 (Workload.idle ()) in
+  check_bool "distinct ids" true (Domain.id a <> Domain.id b);
+  check_bool "equal self" true (Domain.equal a a);
+  check_bool "not equal" false (Domain.equal a b);
+  Domain.charge a (ms 7);
+  check_int "cpu time" 7_000 (Sim_time.to_us (Domain.cpu_time a))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler interface *)
+
+let scheduler_defaults () =
+  let d = Domain.create ~name:"d" ~credit_pct:30.0 (Workload.busy_loop ()) in
+  let s =
+    Scheduler.make ~name:"test"
+      ~domains:(fun () -> [ d ])
+      ~pick:(fun ~now:_ ~remaining ~exclude:_ ->
+        Some { Scheduler.domain = d; max_slice = remaining })
+      ~charge:(fun ~domain:_ ~now:_ ~used:_ -> ())
+      ()
+  in
+  check_float_eps 1e-9 "effective credit defaults to initial" 30.0
+    (s.Scheduler.effective_credit d);
+  check_bool "no window observer" true (s.Scheduler.observe_window = None);
+  s.Scheduler.on_account_period ~now:Sim_time.zero (* no-op default must not raise *)
+
+let scheduler_excluded () =
+  let a = Domain.create ~name:"a" ~credit_pct:10.0 (Workload.idle ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:10.0 (Workload.idle ()) in
+  check_bool "present" true (Scheduler.excluded a [ b; a ]);
+  check_bool "absent" false (Scheduler.excluded a [ b ])
+
+(* ------------------------------------------------------------------ *)
+(* Host *)
+
+let make_host ?config ?governor domains =
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let scheduler = Sched_credit.create domains in
+  let host = Host.create ?config ~sim ~processor ~scheduler ?governor () in
+  (host, processor)
+
+let host_busy_loop_consumes_everything () =
+  let d = Domain.create ~name:"hog" ~credit_pct:100.0 (Workload.busy_loop ()) in
+  let host, _ = make_host [ d ] in
+  Host.run_for host (sec 10);
+  check_float_eps 0.02 "fully busy" 10.0 (Sim_time.to_sec (Host.total_busy host));
+  check_float_eps 0.02 "domain charged" 10.0 (Sim_time.to_sec (Domain.cpu_time d))
+
+let host_idle_when_no_work () =
+  let d = Domain.create ~name:"sleeper" ~credit_pct:100.0 (Workload.idle ()) in
+  let host, _ = make_host [ d ] in
+  Host.run_for host (sec 5);
+  check_int "never busy" 0 (Sim_time.to_us (Host.total_busy host))
+
+let host_cap_enforced () =
+  let d = Domain.create ~name:"capped" ~credit_pct:20.0 (Workload.busy_loop ()) in
+  let host, _ = make_host [ d ] in
+  Host.run_for host (sec 10);
+  check_float_eps 0.05 "20% of 10s" 2.0 (Sim_time.to_sec (Host.total_busy host))
+
+let host_utilization_probe () =
+  let d = Domain.create ~name:"half" ~credit_pct:50.0 (Workload.busy_loop ()) in
+  let host, _ = make_host [ d ] in
+  let probe = Host.utilization_probe host in
+  Host.run_for host (sec 2);
+  check_float_eps 0.02 "50% busy" 0.5 (probe ());
+  Host.run_for host (sec 2);
+  check_float_eps 0.02 "window resets" 0.5 (probe ())
+
+let host_series_sampled () =
+  let d = Domain.create ~name:"vm" ~credit_pct:40.0 (Workload.busy_loop ()) in
+  let host, _ = make_host [ d ] in
+  Host.run_for host (sec 10);
+  let s = Host.series_domain_load host d in
+  check_int "ten samples" 10 (Series.length s);
+  check_float_eps 0.5 "load ~40%" 40.0 (Series.mean s);
+  let g = Host.series_global_load host in
+  check_float_eps 0.5 "global ~40%" 40.0 (Series.mean g);
+  let f = Host.series_frequency host in
+  check_float_eps 1e-9 "freq at max (no governor)" 2667.0 (Series.mean f)
+
+let host_absolute_load_scales () =
+  let d = Domain.create ~name:"vm" ~credit_pct:40.0 (Workload.busy_loop ()) in
+  let sim = Simulator.create () in
+  let processor = Processor.create ~init_freq:1600 Cpu_model.Arch.optiplex_755 in
+  let scheduler = Sched_credit.create [ d ] in
+  let host = Host.create ~sim ~processor ~scheduler () in
+  Host.run_for host (sec 10);
+  let expected = 40.0 *. (1600.0 /. 2667.0) in
+  check_float_eps 0.5 "absolute = load * ratio" expected
+    (Series.mean (Host.series_domain_absolute_load host d))
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+let host_frame_has_all_series () =
+  let d = Domain.create ~name:"vm" ~credit_pct:40.0 (Workload.busy_loop ()) in
+  let host, _ = make_host [ d ] in
+  Host.run_for host (sec 3);
+  let frame = Host.frame host in
+  (* freq + (load + absolute per domain) + global + absolute *)
+  check_int "series count" 5 (List.length (Series.Frame.series frame));
+  let csv = Series.Frame.to_csv frame in
+  check_bool "csv mentions domain" true (contains_substring csv "vm.load")
+
+let host_energy_positive () =
+  let d = Domain.create ~name:"vm" ~credit_pct:100.0 (Workload.busy_loop ()) in
+  let host, _ = make_host [ d ] in
+  Host.run_for host (sec 5);
+  check_bool "energy accrued" true (Host.energy_joules host > 0.0);
+  check_bool "mean watts sensible" true
+    (Host.mean_watts host > 40.0 && Host.mean_watts host <= 95.5)
+
+let host_governor_driven () =
+  let d = Domain.create ~name:"light" ~credit_pct:20.0 (Workload.busy_loop ()) in
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let scheduler = Sched_credit.create [ d ] in
+  let governor = Governors.Governor.powersave processor in
+  let host = Host.create ~sim ~processor ~scheduler ~governor () in
+  Host.run_for host (sec 5);
+  check_int "powersave pinned min" 1600 (Processor.current_freq processor)
+
+let host_trace_records_frequency_changes () =
+  let d = Domain.create ~name:"vm" ~credit_pct:20.0 (Workload.busy_loop ()) in
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let scheduler = Sched_credit.create [ d ] in
+  let trace = Trace.create () in
+  let governor = Governors.Governor.powersave processor in
+  let host = Host.create ~trace ~sim ~processor ~scheduler ~governor () in
+  Host.run_for host (sec 5);
+  let dvfs_entries = Trace.find trace ~source:"dvfs" in
+  check_int "one transition recorded" 1 (List.length dvfs_entries);
+  match dvfs_entries with
+  | [ e ] -> check_bool "mentions both levels" true (String.length e.Trace.message > 10)
+  | _ -> Alcotest.fail "expected one entry"
+
+let host_stop_freezes () =
+  let d = Domain.create ~name:"vm" ~credit_pct:100.0 (Workload.busy_loop ()) in
+  let host, _ = make_host [ d ] in
+  Host.run_for host (sec 2);
+  Host.stop host;
+  let before = Host.total_busy host in
+  Host.run_for host (sec 2);
+  check_int "no dispatch after stop" (Sim_time.to_us before)
+    (Sim_time.to_us (Host.total_busy host))
+
+let host_domains_accessor () =
+  let a = Domain.create ~name:"a" ~credit_pct:10.0 (Workload.idle ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:10.0 (Workload.idle ()) in
+  let host, _ = make_host [ a; b ] in
+  check_int "two domains" 2 (List.length (Host.domains host));
+  Alcotest.check_raises "foreign domain" Not_found (fun () ->
+      ignore
+        (Host.series_domain_load host
+           (Domain.create ~name:"foreign" ~credit_pct:10.0 (Workload.idle ()))))
+
+let () =
+  Alcotest.run "hypervisor"
+    [
+      ( "domain",
+        [
+          Alcotest.test_case "create" `Quick domain_create;
+          Alcotest.test_case "uncapped" `Quick domain_uncapped;
+          Alcotest.test_case "invalid" `Quick domain_invalid;
+          Alcotest.test_case "charge/identity" `Quick domain_charge_and_identity;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "defaults" `Quick scheduler_defaults;
+          Alcotest.test_case "excluded" `Quick scheduler_excluded;
+        ] );
+      ( "host",
+        [
+          Alcotest.test_case "busy loop consumes" `Quick host_busy_loop_consumes_everything;
+          Alcotest.test_case "idle" `Quick host_idle_when_no_work;
+          Alcotest.test_case "cap enforced" `Quick host_cap_enforced;
+          Alcotest.test_case "utilization probe" `Quick host_utilization_probe;
+          Alcotest.test_case "series sampled" `Quick host_series_sampled;
+          Alcotest.test_case "absolute load scales" `Quick host_absolute_load_scales;
+          Alcotest.test_case "frame" `Quick host_frame_has_all_series;
+          Alcotest.test_case "energy" `Quick host_energy_positive;
+          Alcotest.test_case "governor driven" `Quick host_governor_driven;
+          Alcotest.test_case "trace frequency changes" `Quick host_trace_records_frequency_changes;
+          Alcotest.test_case "stop freezes" `Quick host_stop_freezes;
+          Alcotest.test_case "domains accessor" `Quick host_domains_accessor;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+(* Tests for the Table 2 platform profiles. *)
+
+module Platform = Platforms.Platform
+module Processor = Cpu_model.Processor
+module Domain = Hypervisor.Domain
+module Workload = Workloads.Workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let domains () =
+  [
+    Domain.create ~is_dom0:true ~name:"Dom0" ~credit_pct:10.0 (Workload.idle ());
+    Domain.create ~name:"V20" ~credit_pct:20.0 (Workload.idle ());
+    Domain.create ~name:"V70" ~credit_pct:70.0 (Workload.idle ());
+  ]
+
+let catalog_shape () =
+  check_int "seven platforms" 7 (List.length Platform.catalog);
+  let names = List.map (fun p -> p.Platform.name) Platform.catalog in
+  Alcotest.(check (list string)) "paper's column order"
+    [ "Hyper-V"; "VMware"; "Xen/credit"; "Xen/PAS"; "Xen/SEDF"; "KVM"; "Vbox" ]
+    names
+
+let catalog_families () =
+  let kind name =
+    match Platform.find name with Some p -> p.Platform.kind | None -> Alcotest.fail name
+  in
+  check_bool "hyper-v fix" true (kind "hyper-v" = Platform.Fix_credit);
+  check_bool "vmware fix" true (kind "vmware" = Platform.Fix_credit);
+  check_bool "xen/credit fix" true (kind "xen/credit" = Platform.Fix_credit);
+  check_bool "xen/pas power-aware" true (kind "xen/pas" = Platform.Power_aware);
+  check_bool "sedf variable" true (kind "xen/sedf" = Platform.Variable_credit);
+  check_bool "kvm variable" true (kind "kvm" = Platform.Variable_credit);
+  check_bool "vbox variable" true (kind "vbox" = Platform.Variable_credit)
+
+let find_missing () = check_bool "missing" true (Platform.find "qemu-tcg" = None)
+
+let instantiate_fix_credit () =
+  let processor = Processor.create Cpu_model.Arch.elite_8300 in
+  let inst = Platform.instantiate Platform.hyper_v ~mode:Platform.Ondemand ~processor (domains ()) in
+  check_string "credit scheduler" "credit" inst.Platform.scheduler.Hypervisor.Scheduler.name;
+  check_bool "has governor" true (inst.Platform.governor <> None);
+  check_bool "no pas" true (inst.Platform.pas = None)
+
+let instantiate_variable_credit () =
+  let processor = Processor.create Cpu_model.Arch.elite_8300 in
+  let inst = Platform.instantiate Platform.kvm ~mode:Platform.Ondemand ~processor (domains ()) in
+  check_string "sedf scheduler" "sedf" inst.Platform.scheduler.Hypervisor.Scheduler.name
+
+let instantiate_pas () =
+  let processor = Processor.create Cpu_model.Arch.elite_8300 in
+  let inst = Platform.instantiate Platform.xen_pas ~mode:Platform.Ondemand ~processor (domains ()) in
+  check_string "pas scheduler" "pas" inst.Platform.scheduler.Hypervisor.Scheduler.name;
+  check_bool "no external governor" true (inst.Platform.governor = None);
+  check_bool "pas instance exposed" true (inst.Platform.pas <> None)
+
+let instantiate_performance_mode () =
+  let processor = Processor.create Cpu_model.Arch.elite_8300 in
+  let inst =
+    Platform.instantiate Platform.xen_pas ~mode:Platform.Performance ~processor (domains ())
+  in
+  check_string "plain credit in performance mode" "credit"
+    inst.Platform.scheduler.Hypervisor.Scheduler.name;
+  match inst.Platform.governor with
+  | Some g -> check_string "performance governor" "performance" g.Governors.Governor.name
+  | None -> Alcotest.fail "expected a governor"
+
+let efficiency_close_to_one () =
+  List.iter
+    (fun p ->
+      check_bool (p.Platform.name ^ " efficiency sane") true
+        (p.Platform.efficiency > 0.9 && p.Platform.efficiency < 1.1))
+    Platform.catalog
+
+let () =
+  Alcotest.run "platforms"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "shape" `Quick catalog_shape;
+          Alcotest.test_case "families" `Quick catalog_families;
+          Alcotest.test_case "find missing" `Quick find_missing;
+          Alcotest.test_case "efficiency" `Quick efficiency_close_to_one;
+        ] );
+      ( "instantiate",
+        [
+          Alcotest.test_case "fix credit" `Quick instantiate_fix_credit;
+          Alcotest.test_case "variable credit" `Quick instantiate_variable_credit;
+          Alcotest.test_case "pas" `Quick instantiate_pas;
+          Alcotest.test_case "performance mode" `Quick instantiate_performance_mode;
+        ] );
+    ]

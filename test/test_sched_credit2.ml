@@ -1,0 +1,102 @@
+(* Tests for the Credit2-style fair-share scheduler. *)
+
+module Workload = Workloads.Workload
+module Domain = Hypervisor.Domain
+module Scheduler = Hypervisor.Scheduler
+module Host = Hypervisor.Host
+module Processor = Cpu_model.Processor
+
+let check_bool = Alcotest.(check bool)
+let check_float_eps eps = Alcotest.(check (float eps))
+let sec = Sim_time.of_sec
+
+let run_host ?(duration = 10) scheduler =
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let host = Host.create ~sim ~processor ~scheduler () in
+  Host.run_for host (sec duration);
+  host
+
+let share d duration = Sim_time.to_sec (Domain.cpu_time d) /. float_of_int duration
+
+let proportional_share () =
+  let a = Domain.create ~name:"a" ~credit_pct:20.0 (Workload.busy_loop ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:70.0 (Workload.busy_loop ()) in
+  ignore (run_host (Sched_credit2.create [ a; b ]));
+  (* Weight-proportional split of the whole CPU: 2/9 and 7/9. *)
+  check_float_eps 0.02 "a 2/9" (2.0 /. 9.0) (share a 10);
+  check_float_eps 0.02 "b 7/9" (7.0 /. 9.0) (share b 10)
+
+let work_conserving () =
+  let a = Domain.create ~name:"a" ~credit_pct:20.0 (Workload.busy_loop ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:70.0 (Workload.idle ()) in
+  ignore (run_host (Sched_credit2.create [ a; b ]));
+  check_float_eps 0.01 "a takes everything" 1.0 (share a 10)
+
+let wake_does_not_monopolise () =
+  (* A domain sleeping 5 s must not get a catch-up burst when it wakes: its
+     virtual clock is pulled up to the runnable minimum. *)
+  let app =
+    Workloads.Web_app.create ~rate_schedule:[ (Sim_time.zero, 0.0); (sec 5, 5.0) ] ()
+  in
+  let sleeper = Domain.create ~name:"sleeper" ~credit_pct:50.0 (Workloads.Web_app.workload app) in
+  let steady = Domain.create ~name:"steady" ~credit_pct:50.0 (Workload.busy_loop ()) in
+  let sched = Sched_credit2.create [ sleeper; steady ] in
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let host = Host.create ~sim ~processor ~scheduler:sched () in
+  Host.run_for host (sec 5);
+  let steady_before = Sim_time.to_sec (Domain.cpu_time steady) in
+  Host.run_for host (sec 5);
+  let steady_after = Sim_time.to_sec (Domain.cpu_time steady) -. steady_before in
+  (* With equal weights, the second half should split ~50/50, not collapse
+     to 0 for the steady domain. *)
+  check_bool "steady keeps roughly half" true (steady_after > 2.0)
+
+let equal_weights_fair () =
+  let a = Domain.create ~name:"a" ~credit_pct:50.0 (Workload.busy_loop ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:50.0 (Workload.busy_loop ()) in
+  ignore (run_host (Sched_credit2.create [ a; b ]));
+  check_float_eps 0.02 "a half" 0.5 (share a 10);
+  check_float_eps 0.02 "b half" 0.5 (share b 10)
+
+let uncapped_uses_domain_weight () =
+  (* Credit 0 domains fall back to the Xen weight (256 = same as a 100%
+     credit... i.e. heavier than a 50% credit's 128). *)
+  let free = Domain.create ~name:"free" ~credit_pct:0.0 (Workload.busy_loop ()) in
+  let half = Domain.create ~name:"half" ~credit_pct:50.0 (Workload.busy_loop ()) in
+  ignore (run_host (Sched_credit2.create [ free; half ]));
+  check_float_eps 0.03 "free 2/3" (2.0 /. 3.0) (share free 10);
+  check_float_eps 0.03 "half 1/3" (1.0 /. 3.0) (share half 10)
+
+let duplicates_rejected () =
+  let a = Domain.create ~name:"a" ~credit_pct:20.0 (Workload.idle ()) in
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Sched_credit2.create: duplicate domains") (fun () ->
+      ignore (Sched_credit2.create [ a; a ]))
+
+let exclude_respected () =
+  let a = Domain.create ~name:"a" ~credit_pct:50.0 (Workload.busy_loop ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:50.0 (Workload.busy_loop ()) in
+  let sched = Sched_credit2.create [ a; b ] in
+  match sched.Scheduler.pick ~now:Sim_time.zero ~remaining:(Sim_time.of_ms 1) ~exclude:[ a ] with
+  | Some { Scheduler.domain; _ } -> check_bool "picks b" true (Domain.equal domain b)
+  | None -> Alcotest.fail "expected a pick"
+
+let () =
+  Alcotest.run "sched_credit2"
+    [
+      ( "fair share",
+        [
+          Alcotest.test_case "proportional" `Quick proportional_share;
+          Alcotest.test_case "work conserving" `Quick work_conserving;
+          Alcotest.test_case "equal weights" `Quick equal_weights_fair;
+          Alcotest.test_case "uncapped weight" `Quick uncapped_uses_domain_weight;
+          Alcotest.test_case "wake no monopoly" `Quick wake_does_not_monopolise;
+        ] );
+      ( "interface",
+        [
+          Alcotest.test_case "duplicates" `Quick duplicates_rejected;
+          Alcotest.test_case "exclude" `Quick exclude_respected;
+        ] );
+    ]

@@ -1,0 +1,131 @@
+(* Tests for the SEDF scheduler: slice guarantees, EDF dispatch, extratime
+   (work-conserving) redistribution, the extra flag, no back-pay. *)
+
+module Workload = Workloads.Workload
+module Domain = Hypervisor.Domain
+module Scheduler = Hypervisor.Scheduler
+module Host = Hypervisor.Host
+module Processor = Cpu_model.Processor
+
+let check_bool = Alcotest.(check bool)
+let check_float_eps eps = Alcotest.(check (float eps))
+let sec = Sim_time.of_sec
+
+let run_host ?(duration = 10) scheduler =
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let host = Host.create ~sim ~processor ~scheduler () in
+  Host.run_for host (sec duration);
+  host
+
+let share d duration = Sim_time.to_sec (Domain.cpu_time d) /. float_of_int duration
+
+let slices_guaranteed_under_contention () =
+  let a = Domain.create ~name:"a" ~credit_pct:20.0 (Workload.busy_loop ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:70.0 (Workload.busy_loop ()) in
+  ignore (run_host (Sched_sedf.create [ a; b ]));
+  (* Guaranteed 20/70; the leftover 10% extratime splits roughly evenly. *)
+  check_bool "a at least its slice" true (share a 10 >= 0.20 -. 0.01);
+  check_bool "b at least its slice" true (share b 10 >= 0.70 -. 0.01);
+  check_float_eps 0.01 "nothing wasted" 1.0 (share a 10 +. share b 10)
+
+let work_conserving_redistribution () =
+  (* The defining variable-credit property: the idle domain's capacity goes
+     to the busy one. *)
+  let a = Domain.create ~name:"a" ~credit_pct:20.0 (Workload.busy_loop ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:70.0 (Workload.idle ()) in
+  ignore (run_host (Sched_sedf.create [ a; b ]));
+  check_float_eps 0.01 "a takes the whole host" 1.0 (share a 10)
+
+let extra_flag_off_caps () =
+  let a = Domain.create ~name:"a" ~credit_pct:20.0 (Workload.busy_loop ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:70.0 (Workload.idle ()) in
+  ignore (run_host (Sched_sedf.create ~extra:false [ a; b ]));
+  check_float_eps 0.01 "fix-credit behaviour without extratime" 0.20 (share a 10)
+
+let extratime_shared_fairly () =
+  let a = Domain.create ~name:"a" ~credit_pct:10.0 (Workload.busy_loop ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:10.0 (Workload.busy_loop ()) in
+  ignore (run_host (Sched_sedf.create [ a; b ]));
+  (* 80% extratime should be split evenly by round-robin. *)
+  check_float_eps 0.02 "a half" 0.5 (share a 10);
+  check_float_eps 0.02 "b half" 0.5 (share b 10)
+
+let no_back_pay_after_sleep () =
+  let app =
+    Workloads.Web_app.create ~rate_schedule:[ (Sim_time.zero, 0.0); (sec 5, 5.0) ] ()
+  in
+  let a = Domain.create ~name:"a" ~credit_pct:20.0 (Workloads.Web_app.workload app) in
+  let guard = Domain.create ~name:"guard" ~credit_pct:70.0 (Workload.busy_loop ()) in
+  let sched = Sched_sedf.create ~extra:false [ a; guard ] in
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let host = Host.create ~sim ~processor ~scheduler:sched () in
+  Host.run_for host (sec 5);
+  let early = Sim_time.to_sec (Domain.cpu_time a) in
+  Host.run_for host (sec 5);
+  let late = Sim_time.to_sec (Domain.cpu_time a) -. early in
+  check_bool "no work while idle" true (early < 0.01);
+  (* If slices accumulated during sleep, a could claim ~1s+backlog; it must
+     stay at its per-period guarantee. *)
+  check_float_eps 0.05 "guarantee only" 1.0 late
+
+let set_effective_credit_resizes_slice () =
+  let a = Domain.create ~name:"a" ~credit_pct:20.0 (Workload.busy_loop ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:70.0 (Workload.busy_loop ()) in
+  let sched = Sched_sedf.create ~extra:false [ a; b ] in
+  sched.Scheduler.set_effective_credit a 30.0;
+  check_float_eps 1e-9 "updated" 30.0 (sched.Scheduler.effective_credit a);
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let host = Host.create ~sim ~processor ~scheduler:sched () in
+  Host.run_for host (sec 10);
+  check_float_eps 0.02 "30% slice" 0.30 (share a 10)
+
+let negative_credit_rejected () =
+  let a = Domain.create ~name:"a" ~credit_pct:20.0 (Workload.idle ()) in
+  let sched = Sched_sedf.create [ a ] in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Sched_sedf.set_effective_credit: negative credit") (fun () ->
+      sched.Scheduler.set_effective_credit a (-1.0))
+
+let duplicate_domains_rejected () =
+  let a = Domain.create ~name:"a" ~credit_pct:20.0 (Workload.idle ()) in
+  Alcotest.check_raises "duplicates" (Invalid_argument "Sched_sedf.create: duplicate domains")
+    (fun () -> ignore (Sched_sedf.create [ a; a ]))
+
+let pick_respects_exclude () =
+  let a = Domain.create ~name:"a" ~credit_pct:50.0 (Workload.busy_loop ()) in
+  let b = Domain.create ~name:"b" ~credit_pct:50.0 (Workload.busy_loop ()) in
+  let sched = Sched_sedf.create [ a; b ] in
+  match sched.Scheduler.pick ~now:Sim_time.zero ~remaining:(Sim_time.of_ms 1) ~exclude:[ a ] with
+  | Some { Scheduler.domain; _ } -> check_bool "picks b" true (Domain.equal domain b)
+  | None -> Alcotest.fail "expected a pick"
+
+let zero_period_rejected () =
+  Alcotest.check_raises "zero period" (Invalid_argument "Sched_sedf.create: zero period")
+    (fun () -> ignore (Sched_sedf.create ~period:Sim_time.zero []))
+
+let () =
+  Alcotest.run "sched_sedf"
+    [
+      ( "guarantees",
+        [
+          Alcotest.test_case "slices under contention" `Quick slices_guaranteed_under_contention;
+          Alcotest.test_case "no back-pay" `Quick no_back_pay_after_sleep;
+        ] );
+      ( "extratime",
+        [
+          Alcotest.test_case "work conserving" `Quick work_conserving_redistribution;
+          Alcotest.test_case "extra off caps" `Quick extra_flag_off_caps;
+          Alcotest.test_case "shared fairly" `Quick extratime_shared_fairly;
+        ] );
+      ( "interface",
+        [
+          Alcotest.test_case "resize slice" `Quick set_effective_credit_resizes_slice;
+          Alcotest.test_case "negative rejected" `Quick negative_credit_rejected;
+          Alcotest.test_case "duplicates" `Quick duplicate_domains_rejected;
+          Alcotest.test_case "exclude" `Quick pick_respects_exclude;
+          Alcotest.test_case "zero period" `Quick zero_period_rejected;
+        ] );
+    ]

@@ -1,0 +1,381 @@
+(* Tests for workloads: the abstract interface, pi-app, web-app (httperf
+   model) and the phase-schedule builders. *)
+
+module Workload = Workloads.Workload
+module Pi_app = Workloads.Pi_app
+module Web_app = Workloads.Web_app
+module Phases = Workloads.Phases
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let ms = Sim_time.of_ms
+let sec = Sim_time.of_sec
+
+(* ------------------------------------------------------------------ *)
+(* Workload interface *)
+
+let wl_idle () =
+  let w = Workload.idle () in
+  check_bool "never runnable" false (Workload.has_work w);
+  check_int "consumes nothing" 0
+    (Sim_time.to_us (Workload.execute w ~now:Sim_time.zero ~cpu_time:(ms 5) ~speed:1.0))
+
+let wl_busy_loop () =
+  let w = Workload.busy_loop () in
+  check_bool "always runnable" true (Workload.has_work w);
+  check_int "consumes everything" 5_000
+    (Sim_time.to_us (Workload.execute w ~now:Sim_time.zero ~cpu_time:(ms 5) ~speed:0.5))
+
+let wl_overconsume_detected () =
+  let w =
+    Workload.make ~name:"evil"
+      ~has_work:(fun () -> true)
+      ~execute:(fun ~now:_ ~cpu_time ~speed:_ -> Sim_time.add cpu_time (Sim_time.of_us 1))
+      ()
+  in
+  Alcotest.check_raises "overconsumption"
+    (Invalid_argument "Workload.execute: evil consumed more time than offered") (fun () ->
+      ignore (Workload.execute w ~now:Sim_time.zero ~cpu_time:(ms 1) ~speed:1.0))
+
+let wl_bad_speed () =
+  let w = Workload.busy_loop () in
+  Alcotest.check_raises "speed" (Invalid_argument "Workload.execute: speed must be positive")
+    (fun () -> ignore (Workload.execute w ~now:Sim_time.zero ~cpu_time:(ms 1) ~speed:0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Pi_app *)
+
+(* Drive a pi-app by hand: advance and execute in fixed ticks at the given
+   speed until it finishes or [limit] elapses; returns elapsed seconds. *)
+let drive_pi pi ~speed ~limit =
+  let w = Pi_app.workload pi in
+  let tick = ms 1 in
+  let rec loop now =
+    if Pi_app.finished pi then Sim_time.to_sec now
+    else if Sim_time.compare now limit > 0 then Sim_time.to_sec now
+    else begin
+      Workload.advance w ~now ~dt:tick;
+      if Workload.has_work w then ignore (Workload.execute w ~now ~cpu_time:tick ~speed);
+      loop (Sim_time.add now tick)
+    end
+  in
+  loop Sim_time.zero
+
+let pi_completes_at_full_speed () =
+  let pi = Pi_app.create ~work:0.5 () in
+  let elapsed = drive_pi pi ~speed:1.0 ~limit:(sec 2) in
+  check_bool "finished" true (Pi_app.finished pi);
+  check_float_eps 0.01 "took ~work seconds" 0.5 elapsed;
+  match Pi_app.execution_time pi with
+  | Some t -> check_float_eps 0.01 "execution_time" 0.5 (Sim_time.to_sec t)
+  | None -> Alcotest.fail "no execution time"
+
+let pi_scales_with_speed () =
+  let pi = Pi_app.create ~work:0.5 () in
+  let elapsed = drive_pi pi ~speed:0.5 ~limit:(sec 3) in
+  check_float_eps 0.01 "twice as long at half speed" 1.0 elapsed
+
+let pi_duty_cycle_limits () =
+  let pi = Pi_app.create ~duty_cycle:0.25 ~work:0.25 () in
+  let elapsed = drive_pi pi ~speed:1.0 ~limit:(sec 5) in
+  (* 0.25 work at 25% duty: needs ~1s of wall time. *)
+  check_float_eps 0.05 "duty-limited" 1.0 elapsed
+
+let pi_tracking () =
+  let pi = Pi_app.create ~work:1.0 () in
+  check_float "total" 1.0 (Pi_app.total_work pi);
+  check_float "remaining" 1.0 (Pi_app.remaining_work pi);
+  check_bool "not started" true (Pi_app.start_time pi = None);
+  check_bool "no exec time yet" true (Pi_app.execution_time pi = None);
+  ignore (drive_pi pi ~speed:1.0 ~limit:(sec 3));
+  check_float "drained" 0.0 (Pi_app.remaining_work pi);
+  Pi_app.reset pi;
+  check_float "reset restores work" 1.0 (Pi_app.remaining_work pi);
+  check_bool "reset clears times" true (Pi_app.start_time pi = None)
+
+let pi_invalid () =
+  Alcotest.check_raises "work" (Invalid_argument "Pi_app.create: work must be positive")
+    (fun () -> ignore (Pi_app.create ~work:0.0 ()));
+  Alcotest.check_raises "duty" (Invalid_argument "Pi_app.create: duty_cycle must be in (0, 1]")
+    (fun () -> ignore (Pi_app.create ~duty_cycle:1.5 ~work:1.0 ()))
+
+let pi_tiny_residue_finishes =
+  qtest "pi-app always finishes, even with awkward work amounts"
+    QCheck.(float_range 0.0001 0.01)
+    (fun work ->
+      let pi = Pi_app.create ~work () in
+      ignore (drive_pi pi ~speed:0.73 ~limit:(sec 5));
+      Pi_app.finished pi)
+
+(* ------------------------------------------------------------------ *)
+(* Web_app *)
+
+let drive_web app ~speed ~ticks ~serve =
+  let w = Web_app.workload app in
+  let tick = ms 1 in
+  let now = ref Sim_time.zero in
+  for _ = 1 to ticks do
+    Workload.advance w ~now:!now ~dt:tick;
+    if serve && Workload.has_work w then
+      ignore (Workload.execute w ~now:!now ~cpu_time:tick ~speed);
+    now := Sim_time.add !now tick
+  done
+
+let web_deterministic_arrivals () =
+  let app = Web_app.create ~request_work:0.005 ~rate_schedule:(Phases.constant ~rate:0.1) () in
+  drive_web app ~speed:1.0 ~ticks:1000 ~serve:false;
+  (* 0.1 work/s for 1 s = 0.1 work = 20 requests of 5 ms. *)
+  check_int "injected" 20 (Web_app.injected_requests app);
+  check_float_eps 1e-6 "injected work" 0.1 (Web_app.injected_work app);
+  check_int "queued" 20 (Web_app.queue_length app)
+
+let web_serves_fifo () =
+  let app = Web_app.create ~request_work:0.005 ~rate_schedule:(Phases.constant ~rate:0.1) () in
+  drive_web app ~speed:1.0 ~ticks:2000 ~serve:true;
+  check_bool "served most" true (Web_app.completed_requests app >= 35);
+  check_bool "queue small" true (Web_app.queue_length app <= 2);
+  check_float_eps 1e-6 "completed work tracks"
+    (float_of_int (Web_app.completed_requests app) *. 0.005)
+    (Web_app.completed_work app)
+
+let web_response_times () =
+  let app = Web_app.create ~request_work:0.005 ~rate_schedule:(Phases.constant ~rate:0.1) () in
+  drive_web app ~speed:1.0 ~ticks:2000 ~serve:true;
+  let stats = Web_app.response_times app in
+  check_bool "responses recorded" true (Stats.Running.count stats > 0);
+  check_bool "responses small under light load" true (Stats.Running.mean stats < 0.5)
+
+let web_overload_queues () =
+  let app = Web_app.create ~request_work:0.005 ~rate_schedule:(Phases.constant ~rate:2.0) () in
+  drive_web app ~speed:1.0 ~ticks:1000 ~serve:true;
+  check_bool "queue grows under overload" true (Web_app.queue_length app > 50)
+
+let web_timeout_expires () =
+  let app =
+    Web_app.create ~request_work:0.005 ~timeout:(ms 100)
+      ~rate_schedule:[ (Sim_time.zero, 0.5); (ms 500, 0.0) ]
+      ()
+  in
+  (* Inject without serving: after the schedule goes quiet, everything
+     queued times out. *)
+  drive_web app ~speed:1.0 ~ticks:1000 ~serve:false;
+  check_int "all expired" 0 (Web_app.queue_length app);
+  check_bool "counted" true (Web_app.timed_out_requests app > 0)
+
+let web_rate_schedule () =
+  let app =
+    Web_app.create
+      ~rate_schedule:[ (Sim_time.zero, 0.0); (sec 1, 0.3); (sec 2, 0.0) ]
+      ()
+  in
+  check_float "before" 0.0 (Web_app.current_rate app ~now:(ms 500));
+  check_float "during" 0.3 (Web_app.current_rate app ~now:(ms 1500));
+  check_float "after" 0.0 (Web_app.current_rate app ~now:(sec 3))
+
+let web_poisson_mean () =
+  let rng = Prng.create ~seed:5 in
+  let app =
+    Web_app.create ~request_work:0.005 ~arrival:(Web_app.Poisson rng)
+      ~rate_schedule:(Phases.constant ~rate:0.1) ()
+  in
+  drive_web app ~speed:1.0 ~ticks:60_000 ~serve:false;
+  (* Expected: 0.1 * 60 / 0.005 = 1200 requests. *)
+  let n = float_of_int (Web_app.injected_requests app) in
+  check_bool "poisson mean in range" true (n > 1080.0 && n < 1320.0)
+
+let web_invalid () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Web_app.create: schedule must be sorted strictly by time") (fun () ->
+      ignore (Web_app.create ~rate_schedule:[ (sec 2, 0.1); (sec 1, 0.2) ] ()));
+  Alcotest.check_raises "negative rate" (Invalid_argument "Web_app.create: negative rate")
+    (fun () -> ignore (Web_app.create ~rate_schedule:[ (sec 1, -0.5) ] ()));
+  Alcotest.check_raises "request work"
+    (Invalid_argument "Web_app.create: request_work must be positive") (fun () ->
+      ignore (Web_app.create ~request_work:0.0 ~rate_schedule:[] ()));
+  Alcotest.check_raises "timeout" (Invalid_argument "Web_app.create: zero timeout") (fun () ->
+      ignore (Web_app.create ~timeout:Sim_time.zero ~rate_schedule:[] ()))
+
+let web_conservation =
+  qtest "injected work = completed + queued, up to one in-service request"
+    QCheck.(float_range 0.05 1.5)
+    (fun rate ->
+      let app = Web_app.create ~rate_schedule:(Phases.constant ~rate) () in
+      drive_web app ~speed:1.0 ~ticks:2_000 ~serve:true;
+      let injected = Web_app.injected_work app in
+      let accounted = Web_app.completed_work app +. Web_app.queued_work app in
+      (* The head request may be partially served: its progress is in
+         neither bucket, so the gap is bounded by one request's work. *)
+      injected -. accounted >= -1e-9 && injected -. accounted <= 0.005 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Closed-loop clients *)
+
+let closed_loop_invalid () =
+  Alcotest.check_raises "clients" (Invalid_argument "Closed_loop.create: clients must be positive")
+    (fun () -> ignore (Workloads.Closed_loop.create ~clients:0 ~think_time:1.0 ~request_work:0.01 ()));
+  Alcotest.check_raises "think" (Invalid_argument "Closed_loop.create: think_time must be positive")
+    (fun () -> ignore (Workloads.Closed_loop.create ~clients:1 ~think_time:0.0 ~request_work:0.01 ()))
+
+let closed_loop_offered () =
+  let cl = Workloads.Closed_loop.create ~clients:4 ~think_time:2.0 ~request_work:0.01 () in
+  check_float_eps 1e-9 "offered load" 0.02 (Workloads.Closed_loop.offered_load cl)
+
+let closed_loop_self_throttles () =
+  let cl = Workloads.Closed_loop.create ~clients:2 ~think_time:0.5 ~request_work:0.005 () in
+  let w = Workloads.Closed_loop.workload cl in
+  let tick = ms 1 in
+  let now = ref Sim_time.zero in
+  while Sim_time.to_sec !now < 60.0 do
+    Workload.advance w ~now:!now ~dt:tick;
+    if Workload.has_work w then ignore (Workload.execute w ~now:!now ~cpu_time:tick ~speed:1.0);
+    now := Sim_time.add !now tick
+  done;
+  let served = Workloads.Closed_loop.completed_requests cl in
+  (* 2 clients cycling every ~0.505 s over 60 s: ~230 requests. *)
+  check_bool "served a plausible count" true (served > 150 && served < 300);
+  let stats = Workloads.Closed_loop.response_times cl in
+  (* With a dedicated CPU, response ~ service time (5 ms) + tick quantisation. *)
+  check_bool "fast responses" true (Stats.Running.mean stats < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Markov-modulated load *)
+
+let markov_starts_off () =
+  let m = Workloads.Markov_load.create ~on_rate:0.5 ~off_rate:0.0 ~mean_on:10.0 ~mean_off:10.0 () in
+  check_bool "starts off" true (Workloads.Markov_load.state_at m ~now:Sim_time.zero = `Off)
+
+let markov_invalid () =
+  Alcotest.check_raises "rate" (Invalid_argument "Markov_load.create: negative rate") (fun () ->
+      ignore
+        (Workloads.Markov_load.create ~on_rate:(-1.0) ~off_rate:0.0 ~mean_on:1.0 ~mean_off:1.0 ()));
+  Alcotest.check_raises "sojourn"
+    (Invalid_argument "Markov_load.create: sojourn means must be positive") (fun () ->
+      ignore (Workloads.Markov_load.create ~on_rate:1.0 ~off_rate:0.0 ~mean_on:0.0 ~mean_off:1.0 ()))
+
+let markov_flips_states () =
+  let m =
+    Workloads.Markov_load.create ~seed:3 ~on_rate:0.5 ~off_rate:0.0 ~mean_on:2.0 ~mean_off:2.0 ()
+  in
+  ignore (Workloads.Markov_load.state_at m ~now:(sec 200));
+  check_bool "many flips over 100 mean sojourns" true (Workloads.Markov_load.transitions m > 20)
+
+let markov_long_run_rate () =
+  (* With equal sojourn means, the long-run injected rate tends to the
+     average of the two state rates. *)
+  let m =
+    Workloads.Markov_load.create ~seed:5 ~on_rate:0.4 ~off_rate:0.0 ~mean_on:5.0 ~mean_off:5.0 ()
+  in
+  let w = Workloads.Markov_load.workload m ~request_work:0.005 in
+  let tick = ms 10 in
+  let horizon = 4_000.0 in
+  let now = ref Sim_time.zero in
+  while Sim_time.to_sec !now < horizon do
+    Workload.advance w ~now:!now ~dt:tick;
+    if Workload.has_work w then ignore (Workload.execute w ~now:!now ~cpu_time:tick ~speed:1.0);
+    now := Sim_time.add !now tick
+  done;
+  let mean_rate = Workloads.Markov_load.injected_work m /. horizon in
+  check_bool "long-run rate near 0.2"
+    true
+    (mean_rate > 0.15 && mean_rate < 0.25);
+  (* Everything injected was served (capacity far exceeds demand). *)
+  check_float_eps 0.01 "conservation"
+    (Workloads.Markov_load.injected_work m)
+    (Workloads.Markov_load.completed_work m +. Workloads.Markov_load.queued_work m)
+
+(* ------------------------------------------------------------------ *)
+(* Phases *)
+
+let phases_exact_rate () =
+  check_float "20%" 0.2 (Phases.exact_rate ~credit_pct:20.0);
+  Alcotest.check_raises "range" (Invalid_argument "Phases.exact_rate: credit out of [0, 100]")
+    (fun () -> ignore (Phases.exact_rate ~credit_pct:120.0))
+
+let phases_thrashing () =
+  check_float "default x3" 0.6 (Phases.thrashing_rate ~credit_pct:20.0 ());
+  check_float "custom" 1.0 (Phases.thrashing_rate ~factor:5.0 ~credit_pct:20.0 ());
+  Alcotest.check_raises "factor" (Invalid_argument "Phases.thrashing_rate: factor must exceed 1")
+    (fun () -> ignore (Phases.thrashing_rate ~factor:1.0 ~credit_pct:20.0 ()))
+
+let phases_three_phase () =
+  let schedule = Phases.three_phase ~active_from:(sec 10) ~active_until:(sec 20) ~rate:0.5 in
+  check_int "steps" 3 (List.length schedule);
+  let app = Web_app.create ~rate_schedule:schedule () in
+  check_float "inactive" 0.0 (Web_app.current_rate app ~now:(sec 5));
+  check_float "active" 0.5 (Web_app.current_rate app ~now:(sec 15));
+  check_float "inactive again" 0.0 (Web_app.current_rate app ~now:(sec 25))
+
+let phases_three_phase_from_zero () =
+  let schedule = Phases.three_phase ~active_from:Sim_time.zero ~active_until:(sec 5) ~rate:0.5 in
+  check_int "two steps" 2 (List.length schedule)
+
+let phases_invalid_window () =
+  Alcotest.check_raises "empty window"
+    (Invalid_argument "Phases.three_phase: empty active window") (fun () ->
+      ignore (Phases.three_phase ~active_from:(sec 5) ~active_until:(sec 5) ~rate:0.1))
+
+let phases_steps_validates () =
+  Alcotest.check_raises "delegates validation"
+    (Invalid_argument "Web_app.create: negative rate") (fun () ->
+      ignore (Phases.steps [ (sec 1, -1.0) ]))
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "idle" `Quick wl_idle;
+          Alcotest.test_case "busy loop" `Quick wl_busy_loop;
+          Alcotest.test_case "overconsume detected" `Quick wl_overconsume_detected;
+          Alcotest.test_case "bad speed" `Quick wl_bad_speed;
+        ] );
+      ( "pi_app",
+        [
+          Alcotest.test_case "completes at full speed" `Quick pi_completes_at_full_speed;
+          Alcotest.test_case "scales with speed" `Quick pi_scales_with_speed;
+          Alcotest.test_case "duty cycle limits" `Quick pi_duty_cycle_limits;
+          Alcotest.test_case "tracking and reset" `Quick pi_tracking;
+          Alcotest.test_case "invalid" `Quick pi_invalid;
+          pi_tiny_residue_finishes;
+        ] );
+      ( "web_app",
+        [
+          Alcotest.test_case "deterministic arrivals" `Quick web_deterministic_arrivals;
+          Alcotest.test_case "serves fifo" `Quick web_serves_fifo;
+          Alcotest.test_case "response times" `Quick web_response_times;
+          Alcotest.test_case "overload queues" `Quick web_overload_queues;
+          Alcotest.test_case "timeout expires" `Quick web_timeout_expires;
+          Alcotest.test_case "rate schedule" `Quick web_rate_schedule;
+          Alcotest.test_case "poisson mean" `Quick web_poisson_mean;
+          Alcotest.test_case "invalid" `Quick web_invalid;
+          web_conservation;
+        ] );
+      ( "closed_loop",
+        [
+          Alcotest.test_case "invalid" `Quick closed_loop_invalid;
+          Alcotest.test_case "offered load" `Quick closed_loop_offered;
+          Alcotest.test_case "self throttles" `Quick closed_loop_self_throttles;
+        ] );
+      ( "markov",
+        [
+          Alcotest.test_case "starts off" `Quick markov_starts_off;
+          Alcotest.test_case "invalid" `Quick markov_invalid;
+          Alcotest.test_case "flips states" `Quick markov_flips_states;
+          Alcotest.test_case "long-run rate" `Quick markov_long_run_rate;
+        ] );
+      ( "phases",
+        [
+          Alcotest.test_case "exact rate" `Quick phases_exact_rate;
+          Alcotest.test_case "thrashing" `Quick phases_thrashing;
+          Alcotest.test_case "three phase" `Quick phases_three_phase;
+          Alcotest.test_case "three phase from zero" `Quick phases_three_phase_from_zero;
+          Alcotest.test_case "invalid window" `Quick phases_invalid_window;
+          Alcotest.test_case "steps validates" `Quick phases_steps_validates;
+        ] );
+    ]
