@@ -1,0 +1,21 @@
+(* Driver for the custom lint pass (dune build @lint): scans the given
+   roots (default: lib and bin) and exits nonzero if any rule fires. *)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with _ :: [] | [] -> [ "lib"; "bin" ] | _ :: rest -> rest
+  in
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Format.eprintf "lint: no such file or directory: %s@." root;
+        exit 2
+      end)
+    roots;
+  let issues = Lint.lint_paths roots in
+  List.iter (fun i -> Format.printf "%a@." Lint.pp_issue i) issues;
+  match issues with
+  | [] -> ()
+  | _ :: _ ->
+      Format.eprintf "lint: %d issue(s) found@." (List.length issues);
+      exit 1

@@ -1,0 +1,26 @@
+module Violation = Violation
+module Invariant = Invariant
+module Check = Check
+module Config = Config
+
+type policy = Config.policy = Fail_fast | Collect | Warn
+
+let enable = Config.enable
+let disable = Config.disable
+let enabled = Config.enabled
+let policy = Config.policy
+let set_policy = Config.set_policy
+let violations = Config.violations
+
+let clear () =
+  Config.clear ();
+  Invariant.reset_counters ()
+
+let report ppf () =
+  Format.fprintf ppf "--- sanitizer report ---@.";
+  Invariant.pp_summary ppf ();
+  match Config.violations () with
+  | [] -> Format.fprintf ppf "no violations recorded@."
+  | vs ->
+      Format.fprintf ppf "%d violation(s):@." (List.length vs);
+      List.iter (fun v -> Format.fprintf ppf "  %a@." Violation.pp v) vs

@@ -1,0 +1,40 @@
+(** Runtime invariant sanitizer for the DVFS/credit simulator.
+
+    The simulator's correctness rests on a handful of numeric properties
+    the paper states but nothing enforces: credit compensation preserves
+    absolute capacity (Eq. 4), chosen frequencies are members of the
+    processor's P-state table (Listing 1.1), utilization fractions stay in
+    [0, 1], simulated time is monotonic, and no NaN/infinity reaches the
+    measurement sinks.  This library gives those properties names
+    ({!Invariant.register}), cheap evaluation points ({!Check.run}) and a
+    reporting policy ({!policy}).
+
+    The sanitizer is {b off by default}; when off, every instrumented site
+    costs one boolean load.  Enable it with {!enable} or the
+    [DVFS_SANITIZE] environment variable (["fail"], ["collect"] or
+    ["warn"]; see {!Config}). *)
+
+module Violation = Violation
+module Invariant = Invariant
+module Check = Check
+module Config = Config
+
+type policy = Config.policy = Fail_fast | Collect | Warn
+
+val enable : ?policy:policy -> unit -> unit
+(** Turn the sanitizer on (default policy: [Fail_fast]). *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+val policy : unit -> policy
+val set_policy : policy -> unit
+
+val violations : unit -> Violation.t list
+(** Violations recorded so far, oldest first. *)
+
+val clear : unit -> unit
+(** Drop recorded violations and zero the per-invariant counters. *)
+
+val report : Format.formatter -> unit -> unit
+(** Per-invariant check/violation counters followed by the recorded
+    violations. *)

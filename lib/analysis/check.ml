@@ -1,0 +1,19 @@
+let run inv ?(time_s = Float.nan) ?(component = "") ?detail ok =
+  if Config.enabled () then begin
+    Invariant.record_check inv ~ok;
+    if not ok then begin
+      let detail = match detail with Some f -> f () | None -> "condition is false" in
+      Config.record
+        (Violation.make ~invariant:(Invariant.name inv) ~component ~time_s ~detail)
+    end
+  end
+
+let finite inv ?time_s ?component ?(what = "value") x =
+  run inv ?time_s ?component
+    ~detail:(fun () -> Printf.sprintf "%s is not finite: %h" what x)
+    (Float.is_finite x)
+
+let within inv ?time_s ?component ?(what = "value") ~lo ~hi x =
+  run inv ?time_s ?component
+    ~detail:(fun () -> Printf.sprintf "%s = %.9g outside [%.9g, %.9g]" what x lo hi)
+    (Float.is_finite x && x >= lo && x <= hi)

@@ -1,0 +1,41 @@
+(** Evaluating invariants.
+
+    Every entry point is a no-op while the sanitizer is disabled, so
+    instrumentation can stay in hot paths unconditionally.  Call sites that
+    must compute the checked condition should still guard the computation
+    with [Analysis.enabled ()] to keep the disabled cost at one boolean
+    load. *)
+
+val run :
+  Invariant.t ->
+  ?time_s:float ->
+  ?component:string ->
+  ?detail:(unit -> string) ->
+  bool ->
+  unit
+(** [run inv ok] records an evaluation of [inv]; when [ok] is [false] a
+    {!Violation.t} is built ([detail] is only forced then) and handed to
+    the configured policy.  [time_s] defaults to [nan] (no clock in
+    scope). *)
+
+val finite :
+  Invariant.t ->
+  ?time_s:float ->
+  ?component:string ->
+  ?what:string ->
+  float ->
+  unit
+(** [finite inv x] is [run inv (Float.is_finite x)] with a detail message
+    naming [what] and the offending value — the NaN/infinity tripwire for
+    series and statistics sinks. *)
+
+val within :
+  Invariant.t ->
+  ?time_s:float ->
+  ?component:string ->
+  ?what:string ->
+  lo:float ->
+  hi:float ->
+  float ->
+  unit
+(** [within inv ~lo ~hi x] checks [lo <= x <= hi] (and finiteness). *)

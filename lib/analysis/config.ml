@@ -1,0 +1,39 @@
+type policy = Fail_fast | Collect | Warn
+
+let enabled_flag = ref false
+let current_policy = ref Fail_fast
+let collected : Violation.t list ref = ref []
+
+let enabled () = !enabled_flag
+
+let enable ?(policy = Fail_fast) () =
+  enabled_flag := true;
+  current_policy := policy
+
+let disable () = enabled_flag := false
+let policy () = !current_policy
+let set_policy p = current_policy := p
+let violations () = List.rev !collected
+let clear () = collected := []
+
+let record v =
+  collected := v :: !collected;
+  match !current_policy with
+  | Fail_fast -> raise (Violation.Error v)
+  | Collect -> ()
+  | Warn -> Format.eprintf "sanitizer: %a@." Violation.pp v
+
+let env_var = "DVFS_SANITIZE"
+
+let () =
+  match Sys.getenv_opt env_var with
+  | None -> ()
+  | Some value -> (
+      match String.lowercase_ascii (String.trim value) with
+      | "" | "0" | "off" | "false" -> ()
+      | "1" | "on" | "true" | "fail" | "fail-fast" | "fail_fast" -> enable ~policy:Fail_fast ()
+      | "collect" -> enable ~policy:Collect ()
+      | "warn" -> enable ~policy:Warn ()
+      | other ->
+          Format.eprintf "sanitizer: unknown %s value %S (expected off|fail|collect|warn)@."
+            env_var other)

@@ -1,0 +1,40 @@
+(** Sanitizer runtime state: the enabled flag, the violation policy and the
+    collected-violation sink.
+
+    The sanitizer is {e off} by default so instrumented hot paths cost one
+    boolean load.  It can be switched on programmatically
+    ({!enable} / {!Analysis.enable}) or through the [DVFS_SANITIZE]
+    environment variable, read once at program start:
+
+    - ["0"], ["off"] (or unset): disabled;
+    - ["1"], ["on"], ["fail"], ["fail-fast"], ["fail_fast"]: {!Fail_fast};
+    - ["collect"]: {!Collect};
+    - ["warn"]: {!Warn}. *)
+
+type policy =
+  | Fail_fast  (** Raise {!Violation.Error} at the first violation. *)
+  | Collect  (** Accumulate violations; inspect with {!violations}. *)
+  | Warn  (** Print each violation on [stderr] and continue. *)
+
+val enabled : unit -> bool
+
+val enable : ?policy:policy -> unit -> unit
+(** Default policy: [Fail_fast]. *)
+
+val disable : unit -> unit
+val policy : unit -> policy
+val set_policy : policy -> unit
+
+val record : Violation.t -> unit
+(** Apply the current policy to a violation.  Collected violations are kept
+    even if the policy later changes. *)
+
+val violations : unit -> Violation.t list
+(** Violations collected so far (all policies record here before acting),
+    oldest first. *)
+
+val clear : unit -> unit
+(** Drop collected violations. *)
+
+val env_var : string
+(** ["DVFS_SANITIZE"]. *)

@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  equation : string option;
+  doc : string option;
+  mutable checks : int;
+  mutable violations : int;
+}
+
+(* Registration order is part of the reporting contract, so the registry is
+   an ordered list rather than a hash table; it holds a handful of entries
+   and is only scanned at registration and reporting time. *)
+let registry : t list ref = ref []
+
+let find name = List.find_opt (fun i -> String.equal i.name name) !registry
+
+let register ?equation ?doc name =
+  match find name with
+  | Some existing -> existing
+  | None ->
+      let inv = { name; equation; doc; checks = 0; violations = 0 } in
+      registry := !registry @ [ inv ];
+      inv
+
+let name t = t.name
+let equation t = t.equation
+let doc t = t.doc
+let checks t = t.checks
+let violations t = t.violations
+
+let record_check t ~ok =
+  t.checks <- t.checks + 1;
+  if not ok then t.violations <- t.violations + 1
+
+let all () = !registry
+
+let reset_counters () =
+  List.iter
+    (fun i ->
+      i.checks <- 0;
+      i.violations <- 0)
+    !registry
+
+let pp_summary ppf () =
+  List.iter
+    (fun i ->
+      Format.fprintf ppf "%-36s %-8s checks=%-8d violations=%d@." i.name
+        (match i.equation with Some e -> e | None -> "-")
+        i.checks i.violations)
+    !registry

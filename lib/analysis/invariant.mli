@@ -1,0 +1,44 @@
+(** Registry of checkable invariants.
+
+    An invariant is registered once (typically at module initialisation of
+    the component that enforces it) and then exercised through
+    {!Check.run}.  The registry keeps per-invariant counters so a run can
+    report how often each property was actually evaluated — a check that
+    was never exercised is as suspicious as one that failed.
+
+    Registration is idempotent by name: registering an already-known name
+    returns the existing entry (documentation is kept from the first
+    registration), so two instances of the same component share one
+    counter. *)
+
+type t
+
+val register : ?equation:string -> ?doc:string -> string -> t
+(** [register name] adds [name] to the registry or returns the existing
+    entry.  [equation] names the paper equation the invariant enforces
+    (e.g. ["Eq. 4"]); [doc] is a one-line description. *)
+
+val name : t -> string
+val equation : t -> string option
+val doc : t -> string option
+
+val checks : t -> int
+(** Number of times the invariant was evaluated while the sanitizer was
+    enabled. *)
+
+val violations : t -> int
+(** Number of failed evaluations. *)
+
+val record_check : t -> ok:bool -> unit
+(** Bump the counters; used by {!Check.run}. *)
+
+val all : unit -> t list
+(** Every registered invariant, in registration order. *)
+
+val find : string -> t option
+
+val reset_counters : unit -> unit
+(** Zero every invariant's counters (the registry itself is kept). *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** One line per registered invariant: name, equation, checks, violations. *)

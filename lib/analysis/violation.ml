@@ -1,0 +1,19 @@
+type t = { invariant : string; component : string; time_s : float; detail : string }
+
+exception Error of t
+
+let make ~invariant ~component ~time_s ~detail = { invariant; component; time_s; detail }
+
+let pp ppf t =
+  if Float.is_nan t.time_s then
+    Format.fprintf ppf "[t=?] %s: invariant %S violated: %s" t.component t.invariant t.detail
+  else
+    Format.fprintf ppf "[t=%.6fs] %s: invariant %S violated: %s" t.time_s t.component
+      t.invariant t.detail
+
+let to_string t = Format.asprintf "%a" pp t
+
+let () =
+  Printexc.register_printer (function
+    | Error v -> Some ("Analysis.Violation.Error: " ^ to_string v)
+    | _ -> None)

@@ -1,0 +1,20 @@
+(** An invariant violation observed by the runtime sanitizer.
+
+    A violation carries enough context to act on it without re-running the
+    simulation: the invariant's registered name, the component that was
+    executing the check, the simulated time (seconds; [nan] when no clock
+    was in scope) and a human-readable detail string. *)
+
+type t = {
+  invariant : string;  (** Registered name, e.g. ["pas.credit-conservation"]. *)
+  component : string;  (** Emitting component, e.g. ["pas"] or ["series:freq_mhz"]. *)
+  time_s : float;  (** Simulated time in seconds; [nan] when unknown. *)
+  detail : string;  (** Free-form description of the observed state. *)
+}
+
+exception Error of t
+(** Raised by the [Fail_fast] policy. *)
+
+val make : invariant:string -> component:string -> time_s:float -> detail:string -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

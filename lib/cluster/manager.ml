@@ -200,7 +200,7 @@ let energy_joules t =
 let vm_cpu_share t vm =
   let st = state_of t vm in
   let dt = Sim_time.to_sec (Sim_time.diff (now t) t.last_rebalance) in
-  if dt = 0.0 then 0.0
+  if dt = 0.0 (* lint:ignore float-eq: exact zero guards the division *) then 0.0
   else begin
     let used = Sim_time.diff (Domain.cpu_time (Vm.domain st.vm)) st.cpu_snapshot in
     Sim_time.to_sec used /. dt

@@ -3,8 +3,20 @@ module Calibration = Cpu_model.Calibration
 
 let frequency_ratio = Frequency.ratio
 
-let check_speed ratio cf =
-  if not (ratio *. cf > 0.0) then invalid_arg "Equations: ratio * cf must be positive"
+exception Invalid_speed of { ratio : float; cf : float }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_speed { ratio; cf } ->
+        Some
+          (Printf.sprintf
+             "Pas.Equations.Invalid_speed: ratio (%g) * cf (%g) must be positive and finite"
+             ratio cf)
+    | _ -> None)
+
+(* The negated comparison also rejects NaN, so a poisoned ratio or cf can
+   never turn a credit division into inf/NaN silently. *)
+let check_speed ratio cf = if not (ratio *. cf > 0.0) then raise (Invalid_speed { ratio; cf })
 
 let absolute_load ~global_load ~ratio ~cf = global_load *. ratio *. cf
 

@@ -5,6 +5,11 @@
     may exceed 100 after compensation); [ratio] is [F_i / F_max]; [cf] is
     the per-frequency calibration factor. *)
 
+exception Invalid_speed of { ratio : float; cf : float }
+(** Raised by every function that divides by [ratio * cf] when that product
+    is zero, negative or NaN — the division would otherwise return
+    [inf]/[NaN] and silently poison credits downstream. *)
+
 val frequency_ratio : Cpu_model.Frequency.table -> Cpu_model.Frequency.mhz -> float
 (** [ratio_i = F_i / F_max].  @raise Not_found for a non-level frequency. *)
 
@@ -15,12 +20,12 @@ val absolute_load : global_load:float -> ratio:float -> cf:float -> float
 val load_at : absolute_load:float -> ratio:float -> cf:float -> float
 (** Inverse of {!absolute_load}: the load a given absolute load represents
     at frequency [i] — eq. (1) rearranged: [L_i = L_max / (ratio_i * cf_i)].
-    @raise Invalid_argument if [ratio * cf <= 0]. *)
+    @raise Invalid_speed if [ratio * cf] is not positive. *)
 
 val time_at : t_max:float -> ratio:float -> cf:float -> float
 (** Eq. (2): execution time at frequency [i] of a computation taking
     [t_max] at maximum frequency (same credit): [T_i = T_max / (ratio*cf)].
-    @raise Invalid_argument if [ratio * cf <= 0]. *)
+    @raise Invalid_speed if [ratio * cf] is not positive. *)
 
 val time_with_credit : t_init:float -> c_init:float -> c_new:float -> float
 (** Eq. (3): execution time after a credit change (same frequency):
@@ -31,7 +36,7 @@ val compensated_credit : initial:float -> ratio:float -> cf:float -> float
 (** Eq. (4): the credit that restores, at frequency [i], the computing
     capacity the initial credit bought at maximum frequency:
     [C_j = C_init / (ratio_i * cf_i)].  May exceed 100.
-    @raise Invalid_argument if [ratio * cf <= 0]. *)
+    @raise Invalid_speed if [ratio * cf] is not positive. *)
 
 val can_absorb :
   Cpu_model.Frequency.table ->

@@ -2,6 +2,24 @@ module Processor = Cpu_model.Processor
 module Domain = Hypervisor.Domain
 module Scheduler = Hypervisor.Scheduler
 
+let inv_conservation =
+  Analysis.Invariant.register "pas.credit-conservation" ~equation:"Eq. 4"
+    ~doc:
+      "after an evaluation, the sum of capped effective credits is exactly the sum of \
+       initial credits scaled by 1/(ratio*cf)"
+
+let inv_freq_member =
+  Analysis.Invariant.register "pas.freq-in-table" ~equation:"Listing 1.1"
+    ~doc:"the processor frequency is always a level of its P-state table"
+
+let inv_busy_fraction =
+  Analysis.Invariant.register "pas.busy-fraction"
+    ~doc:"utilization samples fed to the evaluation window fall in [0, 1]"
+
+let inv_credit_bounds =
+  Analysis.Invariant.register "pas.effective-credit-bounds" ~equation:"Eq. 4"
+    ~doc:"every effective credit is finite and non-negative"
+
 type t = {
   processor : Processor.t;
   credit : Scheduler.t; (* the underlying Credit scheduler *)
@@ -23,8 +41,49 @@ let global_load t =
   done;
   !sum /. float_of_int n *. 100.0
 
+(* Post-conditions of an evaluation, checkable at any quiescent point: the
+   chosen frequency is a table level, and Listing 1.2 preserved absolute
+   capacity — Σ effective = Σ initial / (ratio·cf) over the capped domains
+   (Eq. 4 summed).  Public so tests can drive it against corrupted state. *)
+let check_invariants t ~now =
+  if Analysis.Config.enabled () then begin
+    let time_s = Sim_time.to_sec now in
+    let table = Processor.freq_table t.processor in
+    let freq = Processor.current_freq t.processor in
+    Analysis.Check.run inv_freq_member ~time_s ~component:"pas"
+      ~detail:(fun () -> Printf.sprintf "current frequency %d MHz is not a table level" freq)
+      (Cpu_model.Frequency.mem table freq);
+    if Cpu_model.Frequency.mem table freq then begin
+      let ratio = Processor.ratio t.processor and cf = Processor.cf t.processor in
+      let sum_initial = ref 0.0 and sum_effective = ref 0.0 in
+      List.iter
+        (fun d ->
+          let initial = Domain.initial_credit d in
+          if initial > 0.0 then begin
+            let eff = t.credit.Scheduler.effective_credit d in
+            Analysis.Check.run inv_credit_bounds ~time_s ~component:"pas"
+              ~detail:(fun () ->
+                Printf.sprintf "domain %s effective credit %.9g" (Domain.name d) eff)
+              (Float.is_finite eff && eff >= 0.0);
+            sum_initial := !sum_initial +. initial;
+            sum_effective := !sum_effective +. eff
+          end)
+        t.domains;
+      let expected = !sum_initial /. (ratio *. cf) in
+      Analysis.Check.run inv_conservation ~time_s ~component:"pas"
+        ~detail:(fun () ->
+          Printf.sprintf
+            "sum of effective credits %.9g, expected %.9g (= %.9g / (%.6g * %.6g))"
+            !sum_effective expected !sum_initial ratio cf)
+        (Float.abs (!sum_effective -. expected) <= 1e-9 *. Float.max 1.0 expected)
+    end
+  end
+
 (* One PAS evaluation: Listing 1.1 then Listing 1.2. *)
 let evaluate t ~now ~busy_fraction =
+  if Analysis.Config.enabled () then
+    Analysis.Check.within inv_busy_fraction ~time_s:(Sim_time.to_sec now) ~component:"pas"
+      ~what:"busy_fraction" ~lo:0.0 ~hi:1.0 busy_fraction;
   t.window.(t.next) <- busy_fraction;
   t.next <- (t.next + 1) mod Array.length t.window;
   if t.filled < Array.length t.window then t.filled <- t.filled + 1;
@@ -48,7 +107,8 @@ let evaluate t ~now ~busy_fraction =
     t.domains;
   if new_freq <> Processor.current_freq t.processor then
     t.frequency_decisions <- t.frequency_decisions + 1;
-  Processor.set_freq t.processor ~now new_freq
+  Processor.set_freq t.processor ~now new_freq;
+  check_invariants t ~now
 
 let create ?(window = Sim_time.of_ms 100) ?(account_period = Sim_time.of_ms 30) ~processor
     domains =
@@ -78,6 +138,7 @@ let create ?(window = Sim_time.of_ms 100) ?(account_period = Sim_time.of_ms 30) 
   t.scheduler <- Some sched;
   t
 
+(* unreachable: [create] installs the scheduler before returning. *)
 let scheduler t = match t.scheduler with Some s -> s | None -> assert false
 let evaluations t = t.evaluations
 let frequency_decisions t = t.frequency_decisions

@@ -44,3 +44,12 @@ val last_absolute_load : t -> float
 (** The absolute load (percent) computed at the latest evaluation. *)
 
 val effective_credit : t -> Hypervisor.Domain.t -> float
+
+val check_invariants : t -> now:Sim_time.t -> unit
+(** Evaluates the PAS sanitizer invariants against the current state: the
+    processor frequency is a table level, every capped effective credit is
+    finite and non-negative, and credit conservation holds — the capped
+    credits sum to [sum initial / (ratio * cf)] (Eq. 4 summed over
+    domains).  A no-op unless the sanitizer is enabled ({!Analysis.enable});
+    called automatically at the end of every evaluation window, and exposed
+    so tests can drive it against deliberately corrupted state. *)

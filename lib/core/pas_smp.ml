@@ -4,6 +4,20 @@ module Calibration = Cpu_model.Calibration
 module Domain = Hypervisor.Domain
 module Scheduler = Hypervisor.Scheduler
 
+let inv_conservation =
+  Analysis.Invariant.register "pas-smp.credit-conservation" ~equation:"Eq. 4"
+    ~doc:
+      "after a rescale, capped effective credits sum to the initial sum scaled by \
+       1/(ratio*cf) of the slowest frequency domain"
+
+let inv_freq_member =
+  Analysis.Invariant.register "pas-smp.freq-in-table" ~equation:"Listing 1.1"
+    ~doc:"every frequency domain runs at a level of the package's table"
+
+let inv_core_util =
+  Analysis.Invariant.register "pas-smp.core-utilization"
+    ~doc:"per-core utilization samples fall in [0, 1]"
+
 type domain_window = { ring : float array; mutable filled : int; mutable next : int }
 
 type t = {
@@ -64,7 +78,56 @@ let rescale_credits t =
           (Equations.compensated_credit ~initial ~ratio ~cf))
     t.domains
 
+(* Post-conditions of a rescale, mirroring [Pas_sched.check_invariants] for
+   the multi-core variant: every frequency domain sits on a table level and
+   the host-wide credits compensate for the slowest domain.  Public so tests
+   can drive it against corrupted state. *)
+let check_invariants t ~now =
+  if Analysis.Config.enabled () then begin
+    let time_s = Sim_time.to_sec now in
+    let table = Smp.freq_table t.smp in
+    let cal = (Smp.arch t.smp).Cpu_model.Arch.calibration in
+    let all_member = ref true in
+    let slowest = ref (Frequency.max_freq table) in
+    for domain = 0 to Smp.domain_count t.smp - 1 do
+      let f = Smp.current_freq t.smp ~domain in
+      Analysis.Check.run inv_freq_member ~time_s ~component:"pas-smp"
+        ~detail:(fun () ->
+          Printf.sprintf "frequency domain %d at %d MHz, not a table level" domain f)
+        (Frequency.mem table f);
+      if not (Frequency.mem table f) then all_member := false;
+      if f < !slowest then slowest := f
+    done;
+    if !all_member then begin
+      let ratio = Frequency.ratio table !slowest in
+      let cf = Calibration.cf cal table !slowest in
+      let sum_initial = ref 0.0 and sum_effective = ref 0.0 in
+      List.iter
+        (fun d ->
+          let initial = Domain.initial_credit d in
+          if initial > 0.0 then begin
+            sum_initial := !sum_initial +. initial;
+            sum_effective := !sum_effective +. t.scheduler.Scheduler.effective_credit d
+          end)
+        t.domains;
+      let expected = !sum_initial /. (ratio *. cf) in
+      Analysis.Check.run inv_conservation ~time_s ~component:"pas-smp"
+        ~detail:(fun () ->
+          Printf.sprintf "sum of effective credits %.9g, expected %.9g at %d MHz"
+            !sum_effective expected !slowest)
+        (Float.abs (!sum_effective -. expected) <= 1e-9 *. Float.max 1.0 expected)
+    end
+  end
+
 let decide t ~now ~domain ~core_utils =
+  if Analysis.Config.enabled () then
+    Array.iteri
+      (fun core u ->
+        Analysis.Check.within inv_core_util ~time_s:(Sim_time.to_sec now)
+          ~component:"pas-smp"
+          ~what:(Printf.sprintf "core %d utilization" core)
+          ~lo:0.0 ~hi:1.0 u)
+      core_utils;
   let table = Smp.freq_table t.smp in
   let cal = (Smp.arch t.smp).Cpu_model.Arch.calibration in
   let freq = Smp.current_freq t.smp ~domain in
@@ -80,7 +143,8 @@ let decide t ~now ~domain ~core_utils =
   t.last_absolute_load <- averaged;
   let new_freq = Equations.compute_new_freq table cal ~absolute_load:averaged in
   Smp.set_freq t.smp ~now ~domain new_freq;
-  rescale_credits t
+  rescale_credits t;
+  check_invariants t ~now
 
 let policy t =
   {

@@ -27,3 +27,9 @@ val policy : t -> Hypervisor.Smp_host.dvfs_policy
 val evaluations : t -> int
 val last_absolute_load : t -> float
 (** Percent of the host's maximum capacity, from the latest evaluation. *)
+
+val check_invariants : t -> now:Sim_time.t -> unit
+(** Evaluates the SMP sanitizer invariants: every frequency domain runs at
+    a table level and host-wide credit conservation holds for the slowest
+    domain's [ratio * cf] (Eq. 4).  A no-op unless the sanitizer is
+    enabled; called automatically after every policy decision. *)

@@ -18,7 +18,8 @@ let alpha_of_cf_min ~freq_table ~cf_min =
   if Frequency.count freq_table < 2 then
     invalid_arg "Calibration.alpha_of_cf_min: table needs at least two levels";
   let ratio_min = Frequency.ratio freq_table (Frequency.min_freq freq_table) in
-  if cf_min = 1.0 then 0.0 else log cf_min /. log ratio_min
+  if cf_min = 1.0 (* lint:ignore float-eq: exact sentinel for the ideal curve *) then 0.0
+  else log cf_min /. log ratio_min
 
 let cf t freq_table f =
   let ratio = Frequency.ratio freq_table f in

@@ -103,4 +103,5 @@ let energy_joules t = t.joules
 
 let mean_watts t =
   let secs = Sim_time.to_sec t.elapsed in
-  if secs = 0.0 then 0.0 else t.joules /. secs
+  if secs = 0.0 (* lint:ignore float-eq: exact zero guards the division *) then 0.0
+  else t.joules /. secs

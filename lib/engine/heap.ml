@@ -65,6 +65,20 @@ let clear h =
   h.data <- [||];
   h.size <- 0
 
+let filter_in_place h pred =
+  let kept = ref 0 in
+  for i = 0 to h.size - 1 do
+    if pred h.data.(i) then begin
+      h.data.(!kept) <- h.data.(i);
+      incr kept
+    end
+  done;
+  h.size <- !kept;
+  (* Bottom-up heapify restores the invariant in O(n). *)
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down h i
+  done
+
 let to_list h = Array.to_list (Array.sub h.data 0 h.size)
 
 let of_list ~cmp xs =

@@ -25,6 +25,11 @@ val pop_exn : 'a t -> 'a
 
 val clear : 'a t -> unit
 
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Keeps only the elements satisfying the predicate and restores the heap
+    invariant, in O(n); used by the event queue to compact cancelled
+    events. *)
+
 val to_list : 'a t -> 'a list
 (** Elements in unspecified order; does not modify the heap. *)
 

@@ -51,7 +51,7 @@ let gaussian t ~mean ~stddev =
 
 let poisson t ~mean =
   if mean < 0.0 then invalid_arg "Prng.poisson: negative mean";
-  if mean = 0.0 then 0
+  if mean = 0.0 (* lint:ignore float-eq: exact zero short-circuit *) then 0
   else if mean > 60.0 then
     (* Normal approximation; adequate for load generation. *)
     Stdlib.max 0 (int_of_float (Float.round (gaussian t ~mean ~stddev:(sqrt mean))))

@@ -1,5 +1,9 @@
 type t = { name : string; times : int Vec.t; values : Vec.Floats.t }
 
+let inv_finite =
+  Analysis.Invariant.register "series.finite-sample"
+    ~doc:"no NaN or infinity is recorded into a measurement series"
+
 let create ~name = { name; times = Vec.create (); values = Vec.Floats.create () }
 let name t = t.name
 let length t = Vec.length t.times
@@ -9,6 +13,9 @@ let add t time value =
   | Some prev when Sim_time.compare time prev < 0 ->
       invalid_arg "Series.add: non-monotonic time"
   | Some _ | None -> ());
+  if Analysis.Config.enabled () then
+    Analysis.Check.finite inv_finite ~time_s:(Sim_time.to_sec time)
+      ~component:("series:" ^ t.name) ~what:"sample" value;
   Vec.push t.times time;
   Vec.Floats.push t.values value
 

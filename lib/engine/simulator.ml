@@ -3,17 +3,29 @@ type event = {
   mutable seq : int;
   mutable action : unit -> unit;
   mutable cancelled : bool;
+  mutable queued : bool; (* currently sitting in the heap *)
 }
 
 type handle = event
 
-type t = { mutable clock : Sim_time.t; mutable next_seq : int; queue : event Heap.t }
+type t = {
+  mutable clock : Sim_time.t;
+  mutable next_seq : int;
+  queue : event Heap.t;
+  mutable dead : int; (* cancelled events still occupying heap slots *)
+}
+
+let inv_monotonic =
+  Analysis.Invariant.register "sim.monotonic-time"
+    ~doc:"the event queue never dispatches an event scheduled before the clock"
 
 let cmp_event a b =
   let c = Sim_time.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create () = { clock = Sim_time.zero; next_seq = 0; queue = Heap.create ~cmp:cmp_event }
+let create () =
+  { clock = Sim_time.zero; next_seq = 0; queue = Heap.create ~cmp:cmp_event; dead = 0 }
+
 let now t = t.clock
 
 let fresh_seq t =
@@ -23,7 +35,7 @@ let fresh_seq t =
 
 let at t time action =
   if Sim_time.compare time t.clock < 0 then invalid_arg "Simulator.at: time is in the past";
-  let ev = { time; seq = fresh_seq t; action; cancelled = false } in
+  let ev = { time; seq = fresh_seq t; action; cancelled = false; queued = true } in
   Heap.push t.queue ev;
   ev
 
@@ -33,7 +45,7 @@ let every t ?start period action =
   if Sim_time.equal period Sim_time.zero then invalid_arg "Simulator.every: zero period";
   let start = match start with Some s -> s | None -> Sim_time.add t.clock period in
   if Sim_time.compare start t.clock < 0 then invalid_arg "Simulator.every: start is in the past";
-  let cell = { time = start; seq = fresh_seq t; action = ignore; cancelled = false } in
+  let cell = { time = start; seq = fresh_seq t; action = ignore; cancelled = false; queued = true } in
   (* One record is re-armed for every firing so a single handle controls the
      whole periodic chain. *)
   cell.action <-
@@ -42,24 +54,56 @@ let every t ?start period action =
       if not cell.cancelled then begin
         cell.time <- Sim_time.add t.clock period;
         cell.seq <- fresh_seq t;
+        cell.queued <- true;
         Heap.push t.queue cell
       end);
   Heap.push t.queue cell;
   cell
 
-let cancel _t handle = handle.cancelled <- true
-let pending t = Heap.length t.queue
+(* Rebuild the heap without its cancelled entries once they dominate; keeps
+   [pending] exact and stops long-lived simulations from dragging a tail of
+   dead events through every sift. *)
+let compact t =
+  Heap.filter_in_place t.queue (fun ev ->
+      if ev.cancelled then begin
+        ev.queued <- false;
+        false
+      end
+      else true);
+  t.dead <- 0
+
+let cancel t handle =
+  if not handle.cancelled then begin
+    handle.cancelled <- true;
+    if handle.queued then begin
+      t.dead <- t.dead + 1;
+      if t.dead > 64 && 2 * t.dead > Heap.length t.queue then compact t
+    end
+  end
+
+let pending t = Heap.length t.queue - t.dead
 
 let step t =
   match Heap.pop t.queue with
   | None -> false
   | Some ev ->
-      t.clock <- Sim_time.max t.clock ev.time;
-      (* A re-armed periodic cell may sit in the heap with a stale position if
-         it was popped and pushed again; comparing the stored firing time with
-         the heap position is unnecessary because times only move forward. *)
-      if not ev.cancelled then ev.action ();
-      true
+      ev.queued <- false;
+      if ev.cancelled then begin
+        t.dead <- t.dead - 1;
+        true
+      end
+      else begin
+        if Analysis.Config.enabled () then
+          Analysis.Check.run inv_monotonic ~time_s:(Sim_time.to_sec t.clock)
+            ~component:"simulator"
+            ~detail:(fun () ->
+              Printf.sprintf "event scheduled at %s popped with clock at %s"
+                (Sim_time.to_string ev.time) (Sim_time.to_string t.clock))
+            (Sim_time.compare ev.time t.clock >= 0);
+        t.clock <- Sim_time.max t.clock ev.time;
+        ev.action ();
+        true
+      end
 
 let run_until t t_end =
   let continue = ref true in

@@ -28,14 +28,17 @@ val every : t -> ?start:Sim_time.t -> Sim_time.t -> (unit -> unit) -> handle
     @raise Invalid_argument if [period] is zero. *)
 
 val cancel : t -> handle -> unit
-(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+(** Cancelling an already-fired or already-cancelled event is a no-op.
+    Cancelled events are compacted out of the queue once they outnumber the
+    live ones, so a cancellation-heavy workload cannot bloat the heap. *)
 
 val pending : t -> int
-(** Number of events still queued (cancelled events may be counted until
-    collected). *)
+(** Number of {e live} events still queued.  Cancelled-but-uncollected
+    events are excluded, so the count is reliable for assertions. *)
 
 val step : t -> bool
-(** Executes the next event.  Returns [false] when the queue is empty. *)
+(** Executes the next event.  Returns [false] when the queue is empty.
+    Popping a cancelled event counts as a step but runs nothing. *)
 
 val run_until : t -> Sim_time.t -> unit
 (** Executes every event scheduled strictly before or at [t_end], then

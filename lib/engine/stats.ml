@@ -1,3 +1,7 @@
+let inv_finite =
+  Analysis.Invariant.register "stats.finite-sample"
+    ~doc:"no NaN or infinity enters a running-statistics accumulator"
+
 module Running = struct
   type t = {
     mutable n : int;
@@ -10,6 +14,8 @@ module Running = struct
   let create () = { n = 0; mean = 0.0; m2 = 0.0; mn = nan; mx = nan }
 
   let add t x =
+    if Analysis.Config.enabled () then
+      Analysis.Check.finite inv_finite ~component:"stats.running" ~what:"sample" x;
     t.n <- t.n + 1;
     let delta = x -. t.mean in
     t.mean <- t.mean +. (delta /. float_of_int t.n);

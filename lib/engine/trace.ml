@@ -28,6 +28,7 @@ let entries t =
   List.init t.count (fun i ->
       match t.buffer.((start + i) mod t.capacity) with
       | Some e -> e
+      (* unreachable: the first [count] ring slots are always populated. *)
       | None -> assert false)
 
 let find t ~source = List.filter (fun e -> String.equal e.source source) (entries t)

@@ -67,7 +67,9 @@ let run_config (label, policy, rebalance_every) ~scale =
     Manager.energy_joules manager /. 1000.0 /. scale,
     mean_active,
     Manager.migrations manager,
-    (if injected = 0.0 then 100.0 else served /. injected *. 100.0) )
+    (if injected = 0.0 (* lint:ignore float-eq: exact zero guards the division *) then
+       100.0
+     else served /. injected *. 100.0) )
 
 let run ~scale =
   let configs =

@@ -32,6 +32,7 @@ let run_pi ?(arch = Cpu_model.Arch.optiplex_755) ?freq ?(credit = 100.0) ?(duty_
   loop ();
   match Workloads.Pi_app.execution_time pi with
   | Some t -> Sim_time.to_sec t
+  (* unreachable: the loop above runs until the pi app finishes. *)
   | None -> assert false
 
 let measure_load ?(arch = Cpu_model.Arch.optiplex_755) ?freq ?(warmup = Sim_time.of_sec 60)

@@ -68,6 +68,7 @@ let run_config c ~scale =
   let exec_time =
     match Workloads.Pi_app.execution_time pi with
     | Some t -> Sim_time.to_sec t /. scale
+    (* unreachable: the loop above runs until the pi app finishes. *)
     | None -> assert false
   in
   let transitions = Smp.transitions smp in

@@ -54,6 +54,7 @@ let run_one platform ~mode ~scale =
   loop ();
   match Workloads.Pi_app.execution_time pi with
   | Some t -> Sim_time.to_sec t /. scale (* normalise back to paper-scale seconds *)
+  (* unreachable: the loop above runs until the pi app finishes. *)
   | None -> assert false
 
 let run ~scale =

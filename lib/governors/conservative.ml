@@ -11,6 +11,7 @@ let create ?(period = Sim_time.of_ms 80) ?(up_threshold = 0.8) ?(down_threshold 
     if busy_fraction > up_threshold then
       Processor.set_freq processor ~now (Frequency.next_up table current)
     else if busy_fraction < down_threshold then
-      Processor.set_freq processor ~now (Frequency.next_down table current)
+      Processor.set_freq processor ~now (Frequency.next_down table current);
+    Governor.check_freq ~name:"conservative" processor ~now
   in
   Governor.make ~name:"conservative" ~period ~observe

@@ -21,7 +21,14 @@ val make :
   period:Sim_time.t ->
   observe:(now:Sim_time.t -> busy_fraction:float -> unit) ->
   t
-(** @raise Invalid_argument on a zero period. *)
+(** @raise Invalid_argument on a zero period.  The returned governor checks
+    the sanitizer invariant [busy_fraction] ∈ [0, 1] before delegating to
+    [observe] (a no-op unless {!Analysis.enable} was called). *)
+
+val check_freq : name:string -> Cpu_model.Processor.t -> now:Sim_time.t -> unit
+(** Sanitizer hook for governor implementations: asserts that the processor
+    currently sits on a level of its P-state table.  A no-op while the
+    sanitizer is disabled. *)
 
 val performance : Cpu_model.Processor.t -> t
 (** Pins the maximum frequency (§2.2). *)

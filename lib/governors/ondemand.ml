@@ -33,6 +33,7 @@ let create ?(period = Sim_time.of_ms 5) ?(up_threshold = 0.8) ?floor processor =
       let absolute_load = busy_fraction *. Processor.speed processor in
       Processor.set_freq processor ~now
         (clamp (lowest_sufficient processor ~absolute_load ~threshold:up_threshold))
-    end
+    end;
+    Governor.check_freq ~name:"ondemand" processor ~now
   in
   Governor.make ~name:"ondemand" ~period ~observe

@@ -20,6 +20,7 @@ let create ?(period = Sim_time.of_ms 10) ?(margin = 1.25) processor =
            end)
          levels
      with Exit -> ());
-    Processor.set_freq processor ~now !chosen
+    Processor.set_freq processor ~now !chosen;
+    Governor.check_freq ~name:"schedutil" processor ~now
   in
   Governor.make ~name:"schedutil" ~period ~observe

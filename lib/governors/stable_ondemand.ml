@@ -70,6 +70,7 @@ let create ?(period = Sim_time.of_ms 100) ?(up_threshold = 0.8) ?(stability = 3)
         Processor.set_freq processor ~now step;
         st.agreement <- 0
       end
-    end
+    end;
+    Governor.check_freq ~name:"stable-ondemand" processor ~now
   in
   Governor.make ~name:"stable-ondemand" ~period ~observe

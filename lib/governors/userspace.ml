@@ -13,7 +13,8 @@ let governor t =
       match t.pending with
       | Some f ->
           Processor.set_freq t.processor ~now f;
-          t.pending <- None
+          t.pending <- None;
+          Governor.check_freq ~name:"userspace" t.processor ~now
       | None -> ())
 
 let request t f = t.pending <- Some f

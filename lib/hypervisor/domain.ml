@@ -31,7 +31,8 @@ let create ?(weight = 256) ?(is_dom0 = false) ?(vcpus = 1) ~name ~credit_pct wor
 let id t = t.id
 let name t = t.name
 let initial_credit t = t.initial_credit
-let uncapped t = t.initial_credit = 0.0
+let uncapped t =
+  t.initial_credit = 0.0 (* lint:ignore float-eq: credit 0 is the exact uncapped sentinel *)
 let weight t = t.weight
 let is_dom0 t = t.is_dom0
 let vcpus t = t.vcpus

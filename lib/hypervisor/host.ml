@@ -1,5 +1,9 @@
 module Processor = Cpu_model.Processor
 
+let inv_tick_util =
+  Analysis.Invariant.register "host.tick-utilization"
+    ~doc:"the busy share of every dispatch tick falls in [0, 1]"
+
 type config = {
   quantum : Sim_time.t;
   account_period : Sim_time.t;
@@ -89,6 +93,9 @@ let dispatch_tick t () =
   done;
   t.total_busy <- Sim_time.add t.total_busy !busy;
   let util = Sim_time.to_sec !busy /. Sim_time.to_sec quantum in
+  if Analysis.Config.enabled () then
+    Analysis.Check.within inv_tick_util ~time_s:(Sim_time.to_sec current) ~component:"host"
+      ~what:"tick utilization" ~lo:0.0 ~hi:1.0 util;
   Processor.record_power t.processor ~dt:quantum ~util
 
 let sample t () =

@@ -1,0 +1,42 @@
+(** Custom static lint for the simulator's OCaml sources.
+
+    A lightweight, dependency-free pass over the source text (comments,
+    string and character literals are blanked before matching), tuned to
+    the failure modes that matter for a deterministic fixed-point
+    simulator:
+
+    - [float-eq]: [=], [==], [!=] or [<>] with a float literal operand, and
+      polymorphic [compare] next to float literals.  Exact float equality
+      is almost always a rounding bug in credit/load arithmetic; use a
+      tolerance or [Float.compare] deliberately and waive the line.
+    - [random]: any use of the global [Random] module.  The simulator's
+      runs must be reproducible; randomness goes through [Prng] with an
+      explicit seed.
+    - [missing-mli]: a [.ml] under a [lib/] directory without a sibling
+      [.mli] — every library module must declare its interface.
+    - [assert-false]: [assert false] without a nearby comment containing
+      "unreachable" explaining why the branch cannot be taken.
+    - [mutable-doc]: a [mutable] field exposed in an [.mli] without an
+      adjacent doc comment; exposed mutability is an API contract and must
+      be documented.
+
+    Any line whose raw text contains ["lint:ignore"] is exempt from the
+    line-based rules. *)
+
+type issue = { file : string; line : int; rule : string; message : string }
+
+val waiver : string
+(** The waiver marker, ["lint:ignore"]. *)
+
+val lint_source : file:string -> string -> issue list
+(** Lints one compilation unit given its file name (the [.ml]/[.mli]
+    suffix selects the applicable rules) and full contents.  Does not
+    touch the file system; the [missing-mli] rule is not applied. *)
+
+val lint_paths : string list -> issue list
+(** Walks the given files and directories (recursively, skipping [_build]
+    and dot-files), lints every [.ml]/[.mli] found and applies the
+    [missing-mli] rule to [lib/] subtrees.  Issues are sorted by file and
+    line. *)
+
+val pp_issue : Format.formatter -> issue -> unit

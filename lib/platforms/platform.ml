@@ -71,6 +71,7 @@ let instantiate t ~mode ~processor domains =
         | Stock_ondemand -> Governors.Ondemand.create processor
         | Smooth_ondemand { up_threshold; period; floor } ->
             Governors.Ondemand.create ~period ~up_threshold ?floor processor
+        (* unreachable: the [Integrated] case is handled by the PAS branch above. *)
         | Integrated -> assert false
       in
       { scheduler; governor = Some governor; pas = None }

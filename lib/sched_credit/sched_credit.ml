@@ -1,6 +1,14 @@
 module Domain = Hypervisor.Domain
 module Scheduler = Hypervisor.Scheduler
 
+let inv_credit =
+  Analysis.Invariant.register "credit.effective-credit-bounds"
+    ~doc:"effective credits handed to the Credit scheduler are finite and non-negative"
+
+let inv_quota =
+  Analysis.Invariant.register "credit.quota-nonneg"
+    ~doc:"a domain's remaining quota never goes negative"
+
 type dom_state = {
   domain : Domain.t;
   mutable effective_credit : float; (* percent; the cap the policy may move *)
@@ -103,15 +111,26 @@ let pick t ~now:_ ~remaining ~exclude =
                   slice_of t.doms.(idx) remaining
               | None -> None)))
 
-let charge t ~domain ~now:_ ~used =
+let charge t ~domain ~now ~used =
   let st = state t domain in
   st.boosted <- false; (* the low-latency dispatch happened; back in the pack *)
   st.quota <- (if Sim_time.compare used st.quota >= 0 then Sim_time.zero
-               else Sim_time.sub st.quota used)
+               else Sim_time.sub st.quota used);
+  if Analysis.Config.enabled () then
+    Analysis.Check.run inv_quota ~time_s:(Sim_time.to_sec now) ~component:"sched-credit"
+      ~detail:(fun () ->
+        Printf.sprintf "domain %s quota %s after charge" (Domain.name domain)
+          (Sim_time.to_string st.quota))
+      (Sim_time.compare st.quota Sim_time.zero >= 0)
 
 let on_account_period t ~now:_ = Array.iter (refill t) t.doms
 
 let set_effective_credit t d credit =
+  if Analysis.Config.enabled () then
+    Analysis.Check.run inv_credit ~component:"sched-credit"
+      ~detail:(fun () ->
+        Printf.sprintf "domain %s assigned effective credit %.9g" (Domain.name d) credit)
+      (Float.is_finite credit && credit >= 0.0);
   if credit < 0.0 then invalid_arg "Sched_credit.set_effective_credit: negative credit";
   let st = state t d in
   let old_quota = quota_of t st.effective_credit in

@@ -146,9 +146,28 @@ let pas_guarantee =
       let delivered = Series.mean_between abs (Sim_time.of_sec 10) (Sim_time.of_sec 30) in
       delivered >= credit -. 1.0 && delivered <= credit +. 1.0)
 
+(* Random whole-system runs with the sanitizer fatal: every instrumented
+   invariant (credit conservation, table-member frequency, [0,1] busy
+   fractions, monotonic clock, finite sinks) is evaluated at every window
+   of every run — a single violation raises and fails the property.  At
+   100 ms windows a 20 s run is ~200 evaluations, so a handful of cases
+   comfortably exceeds a thousand sanitized steps. *)
+let sanitizer_clean =
+  qtest ~count:8 "sanitizer (fail-fast): random runs violate no invariant"
+    arbitrary_config (fun config ->
+      Analysis.clear ();
+      Analysis.enable ~policy:Analysis.Fail_fast ();
+      Fun.protect ~finally:(fun () ->
+          Analysis.disable ();
+          Analysis.clear ())
+        (fun () ->
+          let host, _, _ = run_random config in
+          ignore host;
+          Analysis.violations () = []))
+
 let () =
   Alcotest.run "fuzz"
     [
       ( "invariants",
-        [ conservation; cap_safety; energy_bounds; pas_guarantee ] );
+        [ conservation; cap_safety; energy_bounds; pas_guarantee; sanitizer_clean ] );
     ]

@@ -59,8 +59,13 @@ let eq_times () =
   Alcotest.check_raises "bad credit"
     (Invalid_argument "Equations.time_with_credit: credits must be positive") (fun () ->
       ignore (Equations.time_with_credit ~t_init:1.0 ~c_init:0.0 ~c_new:1.0));
-  Alcotest.check_raises "bad speed" (Invalid_argument "Equations: ratio * cf must be positive")
-    (fun () -> ignore (Equations.time_at ~t_max:1.0 ~ratio:0.0 ~cf:1.0))
+  Alcotest.check_raises "bad speed" (Equations.Invalid_speed { ratio = 0.0; cf = 1.0 })
+    (fun () -> ignore (Equations.time_at ~t_max:1.0 ~ratio:0.0 ~cf:1.0));
+  (* NaN payloads defeat structural equality, so match by hand. *)
+  check_bool "nan speed" true
+    (match Equations.compensated_credit ~initial:10.0 ~ratio:Float.nan ~cf:1.0 with
+    | (_ : float) -> false
+    | exception Equations.Invalid_speed { ratio; cf = _ } -> Float.is_nan ratio)
 
 let eq_compute_new_freq () =
   let cal = Calibration.ideal in
