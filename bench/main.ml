@@ -192,17 +192,22 @@ let run_micro_benchmarks () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
-(* Paper regeneration *)
+(* Paper regeneration — sharded across a domain pool (DVFS_JOBS; default
+   Domain.recommended_domain_count).  Outputs are buffered per job and
+   printed in registry order, so stdout is identical for any pool size. *)
 
 let run_experiments scale =
-  Printf.printf "== Part 2: paper tables & figures (scale %.2f) ==\n\n" scale;
-  List.iter
-    (fun e ->
-      let t0 = Sys.time () in
-      let output = e.Experiments.Experiment.run ~scale in
-      Experiments.Experiment.print Format.std_formatter output;
-      Printf.printf "(%s took %.1fs cpu)\n\n" e.Experiments.Experiment.id (Sys.time () -. t0))
-    Experiments.Registry.all
+  let jobs = Runner.default_pool_size () in
+  Printf.printf "== Part 2: paper tables & figures (scale %.2f, %d job(s)) ==\n\n%!" scale jobs;
+  let report = Runner.run_all ~pool_size:jobs ~scale () in
+  Runner.print_outputs Format.std_formatter report;
+  Runner.pp_summary Format.std_formatter report;
+  (match Sys.getenv_opt "DVFS_MANIFEST" with
+  | Some path when String.trim path <> "" ->
+      Runner.save_manifest report ~path;
+      Printf.printf "wrote manifest %s\n" path
+  | Some _ | None -> ());
+  if Runner.failures report <> [] then exit 1
 
 let () =
   let scale =

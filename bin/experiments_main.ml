@@ -31,7 +31,7 @@ let run_experiments ids scale outdir =
   in
   List.iter
     (fun e ->
-      let output = e.Experiments.Experiment.run ~scale in
+      let output = Experiments.Experiment.run e ~scale in
       Experiments.Experiment.print Format.std_formatter output;
       match outdir with
       | Some dir ->
@@ -60,7 +60,63 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiments $ ids $ scale $ outdir)
 
+(* run-all: the whole registry on a domain pool, with a JSON manifest. *)
+
+let run_all jobs scale manifest quiet =
+  let jobs = match jobs with Some j -> j | None -> Runner.default_pool_size () in
+  let report =
+    try Runner.run_all ~pool_size:jobs ~scale ()
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  if not quiet then Runner.print_outputs Format.std_formatter report;
+  Runner.pp_summary Format.std_formatter report;
+  (match manifest with
+  | Some path ->
+      Runner.save_manifest report ~path;
+      Printf.printf "wrote manifest %s\n" path
+  | None -> ());
+  match Runner.failures report with
+  | [] -> ()
+  | failures ->
+      List.iter (fun (id, msg) -> Printf.eprintf "FAILED %s: %s\n" id msg) failures;
+      exit 1
+
+let run_all_cmd =
+  let doc =
+    "Run every experiment, sharded across a pool of domains.  Deterministic: outputs are \
+     bit-identical for any $(b,--jobs) value (per-experiment seeds are derived from the \
+     experiment id, and outputs print in registry order)."
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker pool size (default: \\$DVFS_JOBS, else the recommended domain count).")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"S"
+          ~doc:"Time compression: 1.0 reproduces paper-length runs, 0.1 is a quick pass.")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"PATH"
+          ~doc:"Write a JSON results manifest (id, status, seconds, rows per experiment).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Suppress experiment outputs; print only the timing summary.")
+  in
+  Cmd.v (Cmd.info "run-all" ~doc) Term.(const run_all $ jobs $ scale $ manifest $ quiet)
+
 let () =
   let doc = "Reproduction experiments for 'DVFS Aware CPU Credit Enforcement'" in
   let info = Cmd.info "dvfs-experiments" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; run_all_cmd ]))

@@ -16,6 +16,23 @@ let next_int64 t =
 let split t = { state = mix64 (next_int64 t) }
 let copy t = { state = t.state }
 
+(* FNV-1a 64-bit over the key bytes, then mixed into a SplitMix64 state.
+   A pure function of [key]: no global state is read or advanced, so the
+   derived stream is independent of when (or on which domain) the call
+   happens — the property the parallel experiment runner relies on. *)
+let fnv_offset_basis = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let derive ~key =
+  let h = ref fnv_offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    key;
+  { state = mix64 !h }
+
+let derive_seed ~key = Int64.to_int (next_int64 (derive ~key))
+
 (* A float uniform in [0,1) built from the top 53 bits. *)
 let unit_float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

@@ -14,6 +14,17 @@ val split : t -> t
 
 val copy : t -> t
 
+val derive : key:string -> t
+(** [derive ~key] is a stream that is a pure function of [key] (FNV-1a of
+    the bytes feeding a SplitMix64 state): deriving the same key always
+    yields the same stream, regardless of call order, interleaving with
+    other derivations, or which domain performs the call.  Experiments use
+    their id as the key so parallel and serial runs are bit-identical. *)
+
+val derive_seed : key:string -> int
+(** First output of [derive ~key] as an [int] — for APIs that take a
+    [seed:int] rather than a [t]. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -13,6 +13,9 @@ let add_row t cells =
 
 let add_rule t = t.rows <- t.rows @ [ Rule ]
 
+let row_count t =
+  List.fold_left (fun n -> function Cells _ -> n + 1 | Rule -> n) 0 t.rows
+
 let render t =
   let ncols = List.length t.headers in
   let widths = Array.make ncols 0 in

@@ -13,6 +13,9 @@ val add_row : t -> string list -> unit
 val add_rule : t -> unit
 (** Inserts a horizontal separator before the next row. *)
 
+val row_count : t -> int
+(** Number of data rows added so far (separators excluded). *)
+
 val render : t -> string
 val pp : Format.formatter -> t -> unit
 

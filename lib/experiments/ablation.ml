@@ -21,7 +21,7 @@ let deficit_between host domain lo hi =
 (* The reactivity scenario: V20 thrashes from the start; V70 is active until
    [switch], after which the host empties, the frequency drops, and the PAS
    variant under test must promptly raise V20's credit. *)
-let implementation_run ~scale =
+let implementation_run ~seed:_ ~scale =
   let t sec = Sim_time.of_sec_f (sec *. scale) in
   let switch = t 600.0 and duration = t 1200.0 in
   let run_variant name build =
@@ -100,7 +100,7 @@ let implementation_run ~scale =
       ];
   }
 
-let energy_run ~scale =
+let energy_run ~seed:_ ~scale =
   let configs =
     [
       ("credit + performance", Scenario.Credit, Scenario.Performance);

@@ -71,7 +71,7 @@ let run_config (label, policy, rebalance_every) ~scale =
        100.0
      else served /. injected *. 100.0) )
 
-let run ~scale =
+let run ~seed:_ ~scale =
   let configs =
     [
       ("static + performance (no DVFS)", Manager.No_dvfs, None);

@@ -11,8 +11,16 @@ type t = {
   id : string;
   title : string;
   paper_ref : string;
-  run : scale:float -> output;
+  run : seed:int -> scale:float -> output;
 }
+
+(* The canonical seed is a pure function of the experiment id, so a run's
+   results cannot depend on which worker domain picks the job up, on pool
+   size, or on how many experiments ran before it.  The namespace prefix
+   keeps experiment streams disjoint from any other [Prng.derive] user. *)
+let default_seed ~id = Prng.derive_seed ~key:("experiment/" ^ id)
+
+let run t ~scale = t.run ~seed:(default_seed ~id:t.id) ~scale
 
 let print ppf (o : output) =
   Format.fprintf ppf "=== %s: %s ===@." o.id o.title;
@@ -21,8 +29,32 @@ let print ppf (o : output) =
   List.iter (fun n -> Format.fprintf ppf "note: %s@." n) o.notes;
   Format.fprintf ppf "@."
 
+let print_to_string (o : output) =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  print ppf o;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* [mkdir -p]: the old single-level [Sys.mkdir] failed on nested output
+   directories and raced when two callers created the same directory. *)
+let rec mkdir_p dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      invalid_arg (Printf.sprintf "Experiment.save_csvs: %s exists and is not a directory" dir)
+  end
+  else begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && not (Sys.file_exists parent) then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir ->
+      (* Lost a creation race with a concurrent worker; the directory is
+         there, which is all we needed. *)
+      ()
+  end
+
 let save_csvs (o : output) ~dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  mkdir_p dir;
   List.map
     (fun (stem, frame) ->
       let path = Filename.concat dir (Printf.sprintf "%s-%s.csv" o.id stem) in

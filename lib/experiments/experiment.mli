@@ -3,7 +3,14 @@
     Every reproduced table/figure is an {!t}: an identifier, the paper
     reference, and a runner producing an {!output} (summary table, optional
     ASCII plots of the figure's series, CSV frames, free-text notes with the
-    paper-vs-measured comparison). *)
+    paper-vs-measured comparison).
+
+    Determinism contract: an experiment's [run] function must be a pure
+    function of [(seed, scale)] — no global mutable state, no wall clock, no
+    ambient [Random] — so the parallel runner can execute the registry in any
+    order, on any number of domains, and obtain bit-identical outputs.  The
+    canonical seed is {!default_seed}, derived from the experiment id alone
+    via {!Prng.derive}. *)
 
 type output = {
   id : string;
@@ -18,12 +25,27 @@ type t = {
   id : string;
   title : string;
   paper_ref : string;  (** e.g. "Fig. 5, §5.4" *)
-  run : scale:float -> output;
+  run : seed:int -> scale:float -> output;
+      (** Must be deterministic in [(seed, scale)]; experiments that use no
+          randomness ignore [seed]. *)
 }
+
+val default_seed : id:string -> int
+(** The canonical seed for an experiment: [Prng.derive_seed] of the id under
+    an ["experiment/"] namespace.  Independent of run order and pool size. *)
+
+val run : t -> scale:float -> output
+(** [run t ~scale] invokes [t.run] with the canonical {!default_seed}. *)
 
 val print : Format.formatter -> output -> unit
 (** Renders title, summary table, plots and notes. *)
 
+val print_to_string : output -> string
+(** {!print} into a fresh buffer — what the parallel runner stores per job. *)
+
 val save_csvs : output -> dir:string -> string list
-(** Writes each frame as [dir/<id>-<stem>.csv] (creating [dir]); returns the
-    paths written. *)
+(** Writes each frame as [dir/<id>-<stem>.csv] (creating [dir] and any
+    missing parents, [mkdir -p] style); returns the paths written.  Safe to
+    call twice with the same [dir] (files are overwritten) and from
+    concurrent workers targeting the same tree.
+    @raise Invalid_argument if [dir] exists and is not a directory. *)

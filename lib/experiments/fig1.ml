@@ -3,7 +3,7 @@ module Frequency = Cpu_model.Frequency
 let arch = Cpu_model.Arch.optiplex_755
 let reduced_freq = 2133
 
-let run ~scale =
+let run ~seed:_ ~scale =
   let work = Float.max 5.0 (100.0 *. scale) in
   let freq_table = arch.Cpu_model.Arch.freq_table in
   let ratio = Frequency.ratio freq_table reduced_freq in

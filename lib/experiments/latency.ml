@@ -5,11 +5,13 @@ module Closed_loop = Workloads.Closed_loop
 
 let batch_domains = 6
 
-let run_variant ~boost ~scale =
+let run_variant ~seed ~boost ~scale =
   let sim = Simulator.create () in
   let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  (* Both variants share the seed so they face the same offered load; the
+     seed itself is derived from the experiment id by the caller. *)
   let interactive_app =
-    Closed_loop.create ~clients:3 ~think_time:0.2 ~request_work:0.002 ()
+    Closed_loop.create ~seed ~clients:3 ~think_time:0.2 ~request_work:0.002 ()
   in
   let interactive =
     Domain.create ~name:"interactive" ~credit_pct:10.0 (Closed_loop.workload interactive_app)
@@ -34,7 +36,7 @@ let run_variant ~boost ~scale =
     Stats.Running.count stats,
     batch_share *. 100.0 )
 
-let run ~scale =
+let run ~seed ~scale =
   let summary =
     Table.create
       ~columns:
@@ -51,7 +53,7 @@ let run ~scale =
   in
   List.iter
     (fun (label, boost) ->
-      let mean, worst, count, batch_share = run_variant ~boost ~scale in
+      let mean, worst, count, batch_share = run_variant ~seed ~boost ~scale in
       Table.add_row summary
         [ label; Table.cell_f mean; Table.cell_f worst; string_of_int count;
           Table.cell_f1 batch_share ])

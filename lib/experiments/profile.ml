@@ -3,7 +3,7 @@ type view = Global | Absolute
 let phase_name = function Scenario.A -> "A (V20 alone)" | B -> "B (both)" | C -> "C (V70 alone)"
 
 let make ~id ~title ~paper_ref ~sched ~gov ~load ~view ~expected =
-  let run ~scale =
+  let run ~seed:_ ~scale =
     let r = Scenario.run (Scenario.spec ~sched ~gov ~load ~scale ()) in
     let columns =
       ("series", Table.Left)

@@ -74,7 +74,7 @@ let run_config c ~scale =
   let transitions = Smp.transitions smp in
   (exec_time, Smp_host.mean_watts host, transitions)
 
-let run ~scale =
+let run ~seed:_ ~scale =
   let summary =
     Table.create
       ~columns:

@@ -38,7 +38,7 @@ let deficit_between host domain lo hi =
     times;
   if !n = 0 then 0.0 else !sum /. float_of_int !n
 
-let pas_window_run ~scale =
+let pas_window_run ~seed:_ ~scale =
   let windows = [ 30; 100; 300; 1000 ] in
   let summary =
     Table.create
@@ -87,7 +87,7 @@ let pas_window_run ~scale =
       ];
   }
 
-let governor_sampling_run ~scale =
+let governor_sampling_run ~seed:_ ~scale =
   let periods_ms = [ 2; 5; 20; 100; 200 ] in
   let summary =
     Table.create

@@ -10,7 +10,7 @@ let paper_values =
     (Arch.elite_8300.Arch.name, 0.86206);
   ]
 
-let run ~scale =
+let run ~seed:_ ~scale =
   let measure = Sim_time.of_sec_f (Float.max 20.0 (240.0 *. scale)) in
   let summary =
     Table.create

@@ -57,7 +57,7 @@ let run_one platform ~mode ~scale =
   (* unreachable: the loop above runs until the pi app finishes. *)
   | None -> assert false
 
-let run ~scale =
+let run ~seed:_ ~scale =
   let summary =
     Table.create
       ~columns:

@@ -2,7 +2,7 @@ module Frequency = Cpu_model.Frequency
 
 let arch = Cpu_model.Arch.optiplex_755
 
-let run ~scale =
+let run ~seed:_ ~scale =
   let table_dur = Sim_time.of_sec_f (Float.max 20.0 (240.0 *. scale)) in
   let freq_table = arch.Cpu_model.Arch.freq_table in
   let levels = Array.to_list (Frequency.levels freq_table) in

@@ -396,6 +396,67 @@ let mutable_doc_issues ~file lines_code lines_raw =
   !issues
 
 (* ------------------------------------------------------------------ *)
+(* Rule: top-level mutable state in experiment modules.
+
+   The parallel runner executes experiment [run] closures on arbitrary
+   domains in arbitrary order; a module-level [ref]/[Hashtbl]/… shared by
+   runs would make results depend on scheduling.  Flag (a) a column-0
+   value binding whose right-hand side constructs a mutable value, and
+   (b) a [mutable] record field declared in an experiment implementation.
+   Locals inside functions are fine and not matched. *)
+
+let mutable_ctors =
+  [
+    "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create"; "Buffer.create";
+    "Atomic.make"; "Array.make"; "Array.init"; "Bytes.create"; "Bytes.make";
+  ]
+
+let in_experiments path =
+  List.exists (String.equal "experiments") (String.split_on_char '/' path)
+
+let experiment_state_issues ~file lines_code =
+  let issues = ref [] in
+  let flag ln msg =
+    issues := { file; line = ln + 1; rule = "experiment-state"; message = msg } :: !issues
+  in
+  Array.iteri
+    (fun ln line ->
+      let n = String.length line in
+      (* (a) [let name = <mutable constructor> …] at column 0: a module-level
+         value binding (a [let] with parameters never has [=] directly after
+         the first token, so function definitions do not match). *)
+      if n > 4 && String.sub line 0 4 = "let " then begin
+        let name = token_after line 4 in
+        if String.length name > 0 && name <> "()" then begin
+          let after_name =
+            let i = ref 4 in
+            while !i < n && line.[!i] = ' ' do incr i done;
+            !i + String.length name
+          in
+          let next = token_after line after_name in
+          let eq_pos = ref after_name in
+          while !eq_pos < n && line.[!eq_pos] = ' ' do incr eq_pos done;
+          if next = "" && !eq_pos < n && line.[!eq_pos] = '='
+             && not (!eq_pos + 1 < n && line.[!eq_pos + 1] = '=') then begin
+            let rhs = token_after line (!eq_pos + 1) in
+            if List.mem rhs mutable_ctors then
+              flag ln
+                (Printf.sprintf
+                   "top-level mutable state (%s = %s …) in an experiment module: runs must \
+                    share no mutable globals so the parallel runner stays deterministic"
+                   name rhs)
+          end
+        end
+      end;
+      (* (b) a [mutable] record field declared in an experiment module. *)
+      if word_before line n "mutable" then
+        flag ln
+          "mutable record field declared in an experiment module: experiment state must \
+           live inside the run closure, not at module level")
+    lines_code;
+  !issues
+
+(* ------------------------------------------------------------------ *)
 
 let lint_source ~file content =
   let code = blank_non_code content in
@@ -407,6 +468,7 @@ let lint_source ~file content =
       float_eq_issues ~file lines_code
       @ random_issues ~file lines_code
       @ assert_false_issues ~file lines_code lines_raw
+      @ (if in_experiments file then experiment_state_issues ~file lines_code else [])
   in
   (* The waiver marker exempts a line from every rule. *)
   List.filter

@@ -19,6 +19,11 @@
     - [mutable-doc]: a [mutable] field exposed in an [.mli] without an
       adjacent doc comment; exposed mutability is an API contract and must
       be documented.
+    - [experiment-state]: in a [.ml] under an [experiments] directory, a
+      top-level value binding that constructs mutable state ([ref],
+      [Hashtbl.create], …) or a [mutable] record field.  Experiment [run]
+      closures are executed by the parallel runner on arbitrary domains in
+      arbitrary order and must share no mutable globals.
 
     Any line whose raw text contains ["lint:ignore"] is exempt from the
     line-based rules. *)

@@ -1,0 +1,179 @@
+module Experiment = Experiments.Experiment
+
+type status = Done | Failed of string
+
+type job = {
+  id : string;
+  title : string;
+  status : status;
+  seconds : float;
+  cpu_seconds : float;
+  alloc_mb : float;
+  rows : int;
+  rendered : string;
+}
+
+type report = {
+  jobs : job list;
+  pool_size : int;
+  scale : float;
+  total_seconds : float;
+}
+
+let failures r =
+  List.filter_map (fun j -> match j.status with Failed m -> Some (j.id, m) | Done -> None) r.jobs
+
+let jobs_env_var = "DVFS_JOBS"
+
+let default_pool_size () =
+  match Sys.getenv_opt jobs_env_var with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+          invalid_arg (Printf.sprintf "Runner: %s must be a positive integer, got %S" jobs_env_var s))
+  | None -> Stdlib.Domain.recommended_domain_count ()
+
+let now () = Unix.gettimeofday ()
+
+(* One experiment, in whatever domain picked it up.  Everything the caller
+   needs — including the rendered report and the failure, if any — comes
+   back as an immutable [job]; an exception must never escape, or it would
+   take the whole worker (and its remaining share of the queue) with it. *)
+let run_job ~scale (e : Experiment.t) =
+  let t0 = now () and c0 = Sys.time () and a0 = Gc.allocated_bytes () in
+  let status, rows, rendered =
+    match Experiment.run e ~scale with
+    | output ->
+        (Done, Sim_engine.Table.row_count output.Experiment.summary, Experiment.print_to_string output)
+    | exception exn -> (Failed (Printexc.to_string exn), 0, "")
+  in
+  {
+    id = e.Experiment.id;
+    title = e.Experiment.title;
+    status;
+    seconds = now () -. t0;
+    cpu_seconds = Sys.time () -. c0;
+    alloc_mb = (Gc.allocated_bytes () -. a0) /. 1_048_576.0;
+    rows;
+    rendered;
+  }
+
+let run_all ?pool_size ?(scale = 1.0) ?experiments () =
+  if not (scale > 0.0) then invalid_arg "Runner.run_all: scale must be positive";
+  let experiments =
+    Array.of_list (match experiments with Some es -> es | None -> Experiments.Registry.all)
+  in
+  let n = Array.length experiments in
+  let requested = match pool_size with Some p -> p | None -> default_pool_size () in
+  if requested < 1 then invalid_arg "Runner.run_all: pool_size must be positive";
+  let pool_size = Stdlib.min requested (Stdlib.max n 1) in
+  let t0 = now () in
+  let results = Array.make n None in
+  (* Self-scheduling shard: each worker claims the next unclaimed index.
+     Assignment order is non-deterministic, but each job's result depends
+     only on (id, scale) — the seed is derived from the id — and results
+     land in registry order, so the report is identical for any pool. *)
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (run_job ~scale experiments.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if pool_size = 1 then worker ()
+  else begin
+    let domains = List.init (pool_size - 1) (fun _ -> Stdlib.Domain.spawn worker) in
+    worker ();
+    List.iter Stdlib.Domain.join domains
+  end;
+  let jobs =
+    Array.to_list
+      (Array.map
+         (function
+           | Some job -> job
+           (* unreachable: the workers only return once [next] has passed
+              [n], and each claimed index is filled before the next claim. *)
+           | None -> assert false)
+         results)
+  in
+  { jobs; pool_size; scale; total_seconds = now () -. t0 }
+
+(* ------------------------------------------------------------------ *)
+(* JSON manifest.  Flat enough to emit by hand; [strip_timings] zeroes the
+   wall-clock/cpu/alloc fields so two runs of the same registry can be
+   compared byte-for-byte. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let manifest_json ?(strip_timings = false) r =
+  let buf = Buffer.create 2048 in
+  let time v = if strip_timings then 0.0 else v in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"dvfs-bench-manifest/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"scale\": %g,\n" r.scale);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" r.pool_size);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_domains\": %d,\n" (Stdlib.Domain.recommended_domain_count ()));
+  Buffer.add_string buf (Printf.sprintf "  \"total_seconds\": %.3f,\n" (time r.total_seconds));
+  Buffer.add_string buf "  \"experiments\": [\n";
+  List.iteri
+    (fun i j ->
+      let status, error =
+        match j.status with Done -> ("ok", "") | Failed m -> ("failed", Printf.sprintf ", \"error\": \"%s\"" (json_escape m))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"id\": \"%s\", \"status\": \"%s\"%s, \"seconds\": %.3f, \"cpu_seconds\": %.3f, \
+            \"alloc_mb\": %.1f, \"rows\": %d}%s\n"
+           (json_escape j.id) status error (time j.seconds) (time j.cpu_seconds)
+           (if strip_timings then 0.0 else j.alloc_mb)
+           j.rows
+           (if i = List.length r.jobs - 1 then "" else ",")))
+    r.jobs;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let save_manifest ?strip_timings r ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (manifest_json ?strip_timings r))
+
+let print_outputs ppf r =
+  List.iter
+    (fun j ->
+      match j.status with
+      | Done -> Format.pp_print_string ppf j.rendered
+      | Failed msg -> Format.fprintf ppf "=== %s: FAILED ===@.%s@.@." j.id msg)
+    r.jobs
+
+let pp_summary ppf r =
+  let failed = List.length (failures r) in
+  Format.fprintf ppf "ran %d experiments on %d domain(s) in %.1fs wall (%0.1fs cpu)@."
+    (List.length r.jobs) r.pool_size r.total_seconds
+    (List.fold_left (fun acc j -> acc +. j.cpu_seconds) 0.0 r.jobs);
+  List.iter
+    (fun j ->
+      Format.fprintf ppf "  %-18s %-6s %6.1fs wall %6.1fs cpu %8.0f MB alloc %4d rows@." j.id
+        (match j.status with Done -> "ok" | Failed _ -> "FAILED")
+        j.seconds j.cpu_seconds j.alloc_mb j.rows)
+    r.jobs;
+  if failed > 0 then Format.fprintf ppf "  %d experiment(s) FAILED@." failed

@@ -1,0 +1,68 @@
+(** Parallel experiment runner.
+
+    Shards the experiment registry across a pool of OCaml domains.  Three
+    properties the callers (bench, CLI, tests) rely on:
+
+    - {b Determinism}: each job's result depends only on its experiment id
+      and the scale — every experiment runs with the canonical seed
+      [Experiment.default_seed], derived from the id by {!Prng.derive} —
+      and results are reported in registry order.  Outputs are therefore
+      bit-identical for any pool size, including the serial case.
+    - {b Failure isolation}: an experiment raising is recorded as a
+      [Failed] job; the other jobs still run to completion.  Check
+      {!failures} (the CLI exits non-zero when it is non-empty).
+    - {b Accounting}: per-job wall-clock, CPU seconds and allocated bytes,
+      plus a machine-readable JSON manifest ({!manifest_json}) for the
+      [BENCH_*.json] perf trajectory.  CPU-time and allocation figures come
+      from process-wide counters ([Sys.time], [Gc.allocated_bytes]) and are
+      approximate when several domains run concurrently. *)
+
+type status = Done | Failed of string  (** [Failed] carries [Printexc.to_string]. *)
+
+type job = {
+  id : string;
+  title : string;
+  status : status;
+  seconds : float;  (** wall clock *)
+  cpu_seconds : float;
+  alloc_mb : float;
+  rows : int;  (** data rows in the summary table *)
+  rendered : string;  (** [Experiment.print] output; [""] when failed *)
+}
+
+type report = {
+  jobs : job list;  (** registry order, independent of completion order *)
+  pool_size : int;  (** domains actually used *)
+  scale : float;
+  total_seconds : float;
+}
+
+val failures : report -> (string * string) list
+(** [(id, error)] for every failed job, registry order. *)
+
+val jobs_env_var : string
+(** ["DVFS_JOBS"]. *)
+
+val default_pool_size : unit -> int
+(** [$DVFS_JOBS] when set, else [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [$DVFS_JOBS] is not a positive integer. *)
+
+val run_all :
+  ?pool_size:int -> ?scale:float -> ?experiments:Experiments.Experiment.t list -> unit -> report
+(** Runs [experiments] (default: the full registry) on [pool_size] domains
+    (default: {!default_pool_size}, capped at the number of experiments).
+    @raise Invalid_argument on a non-positive [pool_size] or [scale]. *)
+
+val manifest_json : ?strip_timings:bool -> report -> string
+(** JSON manifest (schema [dvfs-bench-manifest/1]).  With
+    [~strip_timings:true] every timing/allocation field is zeroed, making
+    manifests of identical registry runs byte-comparable. *)
+
+val save_manifest : ?strip_timings:bool -> report -> path:string -> unit
+
+val print_outputs : Format.formatter -> report -> unit
+(** Every job's rendered experiment output, registry order; failed jobs
+    print a [FAILED] header with the error instead. *)
+
+val pp_summary : Format.formatter -> report -> unit
+(** Human-readable per-job timing table plus totals. *)

@@ -100,6 +100,43 @@ let prng_copy () =
   let b = Prng.copy a in
   Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a) (Prng.next_int64 b)
 
+let prng_derive_deterministic () =
+  let a = Prng.derive ~key:"experiment/fig5" and b = Prng.derive ~key:"experiment/fig5" in
+  for _ = 1 to 10 do
+    Alcotest.(check int64) "same key, same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done;
+  let c = Prng.derive ~key:"experiment/fig6" in
+  check_bool "distinct keys diverge" true (Prng.next_int64 a <> Prng.next_int64 c);
+  Alcotest.(check int)
+    "derive_seed stable" (Prng.derive_seed ~key:"x") (Prng.derive_seed ~key:"x")
+
+let prng_derive_order_independent =
+  (* The contract the parallel runner rests on: the stream behind a key does
+     not depend on how many other derivations or draws happened first, nor
+     on the order keys are derived in. *)
+  qtest "derive independent of call order"
+    QCheck.(pair (small_list small_string) small_string)
+    (fun (keys, extra) ->
+      let fingerprint key =
+        let rng = Prng.derive ~key in
+        List.init 4 (fun _ -> Prng.next_int64 rng)
+      in
+      let fresh = List.map fingerprint keys in
+      (* Interleave: derive in reverse order, with unrelated derivations and
+         draws in between, then compare per-key fingerprints. *)
+      let noisy =
+        let acc =
+          List.rev_map
+            (fun key ->
+              ignore (Prng.next_int64 (Prng.derive ~key:(extra ^ key)));
+              ignore (Prng.derive_seed ~key:extra);
+              (key, fingerprint key))
+            keys
+        in
+        List.map (fun key -> List.assoc key acc) keys
+      in
+      fresh = noisy)
+
 let prng_float_bounds =
   qtest "float in [0, bound)"
     QCheck.(pair small_int (float_bound_exclusive 1000.0))
@@ -434,6 +471,14 @@ let table_empty_columns () =
   Alcotest.check_raises "no columns" (Invalid_argument "Table.create: no columns") (fun () ->
       ignore (Table.create ~columns:[]))
 
+let table_row_count () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] in
+  check_int "empty" 0 (Table.row_count t);
+  Table.add_row t [ "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "2" ];
+  check_int "rules not counted" 2 (Table.row_count t)
+
 (* ------------------------------------------------------------------ *)
 (* Trace *)
 
@@ -462,6 +507,55 @@ let trace_eviction () =
   | [] -> Alcotest.fail "empty");
   Trace.clear t;
   check_int "cleared" 0 (Trace.length t)
+
+let trace_capacity_boundary () =
+  (* Filling to exactly capacity evicts nothing; the next record evicts
+     exactly one. *)
+  let cap = 4 in
+  let t = Trace.create ~capacity:cap () in
+  for i = 1 to cap do
+    Trace.record t ~time:(Sim_time.of_sec i) ~source:"s" (string_of_int i)
+  done;
+  check_int "full, nothing dropped" 0 (Trace.dropped t);
+  check_int "full length" cap (Trace.length t);
+  Trace.record t ~time:(Sim_time.of_sec (cap + 1)) ~source:"s" "over";
+  check_int "one dropped" 1 (Trace.dropped t);
+  check_int "length stays at capacity" cap (Trace.length t);
+  (match Trace.entries t with
+  | e :: _ -> check_string "entry 1 evicted" "2" e.Trace.message
+  | [] -> Alcotest.fail "empty");
+  (* [dropped] keeps counting past the first eviction. *)
+  for i = 1 to 10 do
+    Trace.record t ~time:(Sim_time.of_sec (cap + 1 + i)) ~source:"s" "x"
+  done;
+  check_int "dropped accumulates" 11 (Trace.dropped t);
+  (* [clear] resets the eviction counter too. *)
+  Trace.clear t;
+  check_int "dropped reset" 0 (Trace.dropped t)
+
+let trace_find_after_wraparound () =
+  let t = Trace.create ~capacity:4 () in
+  (* 10 records, alternating sources: entries 7..10 survive. *)
+  for i = 1 to 10 do
+    let source = if i mod 2 = 0 then "even" else "odd" in
+    Trace.record t ~time:(Sim_time.of_sec i) ~source (string_of_int i)
+  done;
+  check_int "dropped" 6 (Trace.dropped t);
+  (match Trace.find t ~source:"even" with
+  | [ e8; e10 ] ->
+      check_string "surviving even entries, oldest first" "8" e8.Trace.message;
+      check_string "newest even entry" "10" e10.Trace.message
+  | l -> Alcotest.failf "expected [8; 10], got %d entries" (List.length l));
+  (match Trace.find t ~source:"odd" with
+  | [ e7; e9 ] ->
+      check_string "surviving odd entries" "7" e7.Trace.message;
+      check_string "newest odd entry" "9" e9.Trace.message
+  | l -> Alcotest.failf "expected [7; 9], got %d entries" (List.length l));
+  check_int "find misses evicted source" 0 (List.length (Trace.find t ~source:"gone"))
+
+let trace_invalid_capacity () =
+  Alcotest.check_raises "capacity" (Invalid_argument "Trace.create: capacity must be positive")
+    (fun () -> ignore (Trace.create ~capacity:0 ()))
 
 (* ------------------------------------------------------------------ *)
 (* Plot *)
@@ -500,6 +594,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick prng_deterministic;
           Alcotest.test_case "split" `Quick prng_split_independent;
           Alcotest.test_case "copy" `Quick prng_copy;
+          Alcotest.test_case "derive" `Quick prng_derive_deterministic;
+          prng_derive_order_independent;
           prng_float_bounds;
           prng_int_bounds;
           Alcotest.test_case "exponential mean" `Quick prng_exponential_mean;
@@ -553,11 +649,15 @@ let () =
           Alcotest.test_case "render" `Quick table_render;
           Alcotest.test_case "arity" `Quick table_arity;
           Alcotest.test_case "empty columns" `Quick table_empty_columns;
+          Alcotest.test_case "row count" `Quick table_row_count;
         ] );
       ( "trace",
         [
           Alcotest.test_case "basic" `Quick trace_basic;
           Alcotest.test_case "eviction" `Quick trace_eviction;
+          Alcotest.test_case "capacity boundary" `Quick trace_capacity_boundary;
+          Alcotest.test_case "find after wraparound" `Quick trace_find_after_wraparound;
+          Alcotest.test_case "invalid capacity" `Quick trace_invalid_capacity;
         ] );
       ("plot", [ Alcotest.test_case "smoke" `Quick plot_smoke ]);
     ]

@@ -91,7 +91,7 @@ let experiment_output_and_csv () =
   match Registry.find "fig2" with
   | None -> Alcotest.fail "fig2 missing"
   | Some e ->
-      let output = e.Experiment.run ~scale:0.01 in
+      let output = Experiment.run e ~scale:0.01 in
       check_bool "has plots" true (List.length output.Experiment.plots > 0);
       check_bool "has frames" true (List.length output.Experiment.frames > 0);
       let dir = Filename.concat (Filename.get_temp_dir_name ()) "dvfs-test-csv" in
@@ -102,11 +102,66 @@ let experiment_output_and_csv () =
           Sys.remove path)
         written
 
+(* [save_csvs] file-system behaviour: path shape, nested-directory
+   creation ([mkdir -p] — the seed's single-level [Sys.mkdir] failed on a
+   missing parent), re-entrancy on an existing directory, and the
+   exists-but-not-a-directory error. *)
+let experiment_save_csvs_fs () =
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "dvfs-test-save-csvs" in
+  rm_rf root;
+  match Registry.find "fig2" with
+  | None -> Alcotest.fail "fig2 missing"
+  | Some e ->
+      let output = Experiment.run e ~scale:0.01 in
+      let nested = Filename.concat (Filename.concat root "a") "b" in
+      let written = Experiment.save_csvs output ~dir:nested in
+      check_bool "nested dir created" true (Sys.is_directory nested);
+      check_int "one frame" 1 (List.length written);
+      List.iter
+        (fun path ->
+          check_bool "path under dir" true (Filename.dirname path = nested);
+          check_bool "path shape id-stem.csv" true
+            (Filename.basename path = "fig2-series.csv");
+          check_bool "file exists" true (Sys.file_exists path))
+        written;
+      (* Re-entrant: same directory again overwrites in place. *)
+      let again = Experiment.save_csvs output ~dir:nested in
+      check_bool "same paths on rerun" true (again = written);
+      (* A plain file where the directory should be is a clear error, not a
+         cascade of Sys_errors. *)
+      let clash = Filename.concat root "clash" in
+      let oc = open_out clash in
+      output_string oc "not a directory";
+      close_out oc;
+      Alcotest.check_raises "dir is a file"
+        (Invalid_argument
+           (Printf.sprintf "Experiment.save_csvs: %s exists and is not a directory" clash))
+        (fun () -> ignore (Experiment.save_csvs output ~dir:clash));
+      rm_rf root
+
+let experiment_default_seed () =
+  check_int "pure function of id"
+    (Experiment.default_seed ~id:"fig2")
+    (Experiment.default_seed ~id:"fig2");
+  check_bool "distinct per id" true
+    (Experiment.default_seed ~id:"fig2" <> Experiment.default_seed ~id:"fig3");
+  check_int "namespaced derivation"
+    (Prng.derive_seed ~key:"experiment/fig2")
+    (Experiment.default_seed ~id:"fig2")
+
 let experiment_print_smoke () =
   match Registry.find "fig2" with
   | None -> Alcotest.fail "fig2 missing"
   | Some e ->
-      let output = e.Experiment.run ~scale:0.01 in
+      let output = Experiment.run e ~scale:0.01 in
       let buf = Buffer.create 1024 in
       let ppf = Format.formatter_of_buffer buf in
       Experiment.print ppf output;
@@ -119,7 +174,7 @@ let extension_experiments_run () =
       match Registry.find id with
       | None -> Alcotest.failf "%s missing" id
       | Some e ->
-          let output = e.Experiment.run ~scale:0.05 in
+          let output = Experiment.run e ~scale:0.05 in
           check_bool (id ^ " produced a summary") true
             (String.length (Table.render output.Experiment.summary) > 40))
     [ "ablation-smp"; "ablation-window"; "ablation-sampling" ]
@@ -152,6 +207,8 @@ let () =
       ( "output",
         [
           Alcotest.test_case "csv save" `Quick experiment_output_and_csv;
+          Alcotest.test_case "csv save file-system behaviour" `Quick experiment_save_csvs_fs;
+          Alcotest.test_case "default seed" `Quick experiment_default_seed;
           Alcotest.test_case "print" `Quick experiment_print_smoke;
           Alcotest.test_case "extension experiments" `Slow extension_experiments_run;
         ] );

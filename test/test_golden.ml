@@ -1,0 +1,88 @@
+(* Golden-output regression suite.
+
+   Every registered experiment's summary table at scale 0.1 is snapshotted
+   under [golden/<id>.expected].  A scheduler/governor/engine edit that
+   silently changes any reproduced number fails here with a diff-style
+   message instead of slipping through.
+
+   Regenerating after an intentional numeric change:
+
+     DVFS_GOLDEN_UPDATE=1 DVFS_GOLDEN_DIR=test/golden dune exec test/test_golden.exe
+
+   from the repository root rewrites the snapshots in the source tree
+   (under `dune runtest` the suite reads the sandboxed copies in
+   [golden/]). *)
+
+module Experiment = Experiments.Experiment
+module Registry = Experiments.Registry
+
+let golden_scale = 0.1
+
+let golden_dir =
+  match Sys.getenv_opt "DVFS_GOLDEN_DIR" with
+  | Some d when String.trim d <> "" -> d
+  | Some _ | None -> "golden"
+
+let update_mode =
+  match Sys.getenv_opt "DVFS_GOLDEN_UPDATE" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let golden_path id = Filename.concat golden_dir (id ^ ".expected")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+(* First differing line, for a readable failure message. *)
+let first_diff expected actual =
+  let e = String.split_on_char '\n' expected and a = String.split_on_char '\n' actual in
+  let rec loop n = function
+    | [], [] -> None
+    | x :: _, [] -> Some (n, x, "<missing>")
+    | [], y :: _ -> Some (n, "<missing>", y)
+    | x :: xs, y :: ys -> if String.equal x y then loop (n + 1) (xs, ys) else Some (n, x, y)
+  in
+  loop 1 (e, a)
+
+let check_experiment (e : Experiment.t) () =
+  let output = Experiment.run e ~scale:golden_scale in
+  let actual = Table.render output.Experiment.summary in
+  let path = golden_path e.Experiment.id in
+  if update_mode then begin
+    write_file path actual;
+    Printf.printf "updated %s\n" path
+  end
+  else if not (Sys.file_exists path) then
+    Alcotest.failf
+      "no golden snapshot %s — generate with DVFS_GOLDEN_UPDATE=1 DVFS_GOLDEN_DIR=test/golden \
+       dune exec test/test_golden.exe"
+      path
+  else begin
+    let expected = read_file path in
+    if not (String.equal expected actual) then
+      match first_diff expected actual with
+      | Some (line, exp, act) ->
+          Alcotest.failf
+            "summary for %s drifted from %s at line %d:\n  expected: %s\n  actual:   %s\n\
+             (intentional? regenerate with DVFS_GOLDEN_UPDATE=1)"
+            e.Experiment.id path line exp act
+      (* unreachable: strings differ, so a differing/missing line exists. *)
+      | None -> assert false
+  end
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "summary tables at scale 0.1",
+        List.map
+          (fun e ->
+            Alcotest.test_case e.Experiment.id `Slow (check_experiment e))
+          Registry.all );
+    ]

@@ -1,0 +1,149 @@
+(* Tests for the parallel experiment runner: differential determinism
+   (serial vs pools of 1/2/4 domains), failure isolation, manifest shape,
+   and argument validation.
+
+   The determinism tests run the full registry several times, so they use a
+   small scale; the byte-identity assertions do not depend on it. *)
+
+module Experiment = Experiments.Experiment
+module Registry = Experiments.Registry
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let diff_scale = 0.02
+
+(* The pre-runner serial reference: plain [Experiment.run] over the
+   registry in order, no pool involved. *)
+let serial_reference () =
+  List.map (fun e -> Experiment.print_to_string (Experiment.run e ~scale:diff_scale)) Registry.all
+
+let differential_determinism () =
+  let reference = serial_reference () in
+  let reports =
+    List.map (fun pool_size -> Runner.run_all ~pool_size ~scale:diff_scale ()) [ 1; 2; 4 ]
+  in
+  List.iter
+    (fun report ->
+      check_int
+        (Printf.sprintf "pool %d ran everything" report.Runner.pool_size)
+        (List.length Registry.all)
+        (List.length report.Runner.jobs);
+      check_bool
+        (Printf.sprintf "pool %d has no failures" report.Runner.pool_size)
+        true
+        (Runner.failures report = []);
+      List.iter2
+        (fun expected j ->
+          check_string
+            (Printf.sprintf "%s byte-identical on pool %d" j.Runner.id report.Runner.pool_size)
+            expected j.Runner.rendered)
+        reference report.Runner.jobs)
+    reports;
+  (* Manifests agree too, once timings are stripped. *)
+  match List.map (fun r -> Runner.manifest_json ~strip_timings:true r) reports with
+  | [ m1; m2; m4 ] ->
+      (* jobs count differs by design; normalize it before comparing. *)
+      let norm m =
+        List.filter
+          (fun line -> not (String.length line > 10 && String.sub line 2 8 = "\"jobs\": "))
+          (String.split_on_char '\n' m)
+      in
+      check_bool "manifest 1 = manifest 2" true (norm m1 = norm m2);
+      check_bool "manifest 2 = manifest 4" true (norm m2 = norm m4)
+  (* unreachable: three pools were mapped above. *)
+  | _ -> assert false
+
+(* Failure isolation: one experiment raising must not kill the run; its
+   error is reported and the others complete. *)
+let failing_experiment id =
+  {
+    Experiment.id;
+    title = "always raises";
+    paper_ref = "n/a";
+    run = (fun ~seed:_ ~scale:_ -> failwith (id ^ " exploded"));
+  }
+
+let ok_experiment id =
+  {
+    Experiment.id;
+    title = "trivial";
+    paper_ref = "n/a";
+    run =
+      (fun ~seed:_ ~scale:_ ->
+        let summary = Table.create ~columns:[ ("k", Table.Left); ("v", Table.Right) ] in
+        Table.add_row summary [ "answer"; "42" ];
+        { Experiment.id; title = "trivial"; summary; plots = []; frames = []; notes = [] });
+  }
+
+let failure_isolation () =
+  let experiments =
+    [ ok_experiment "ok-a"; failing_experiment "boom"; ok_experiment "ok-b" ]
+  in
+  let report = Runner.run_all ~pool_size:2 ~scale:1.0 ~experiments () in
+  check_int "all jobs reported" 3 (List.length report.Runner.jobs);
+  (match Runner.failures report with
+  | [ (id, msg) ] ->
+      check_string "failed id" "boom" id;
+      check_bool "carries the exception" true
+        (String.length msg > 0
+        && String.length msg >= String.length "boom exploded"
+        &&
+        let rec contains i =
+          i + 13 <= String.length msg && (String.sub msg i 13 = "boom exploded" || contains (i + 1))
+        in
+        contains 0)
+  | l -> Alcotest.failf "expected exactly one failure, got %d" (List.length l));
+  List.iter
+    (fun j ->
+      match (j.Runner.id, j.Runner.status) with
+      | "boom", Runner.Failed _ -> check_string "failed job has no output" "" j.Runner.rendered
+      | "boom", Runner.Done -> Alcotest.fail "boom should have failed"
+      | _, Runner.Done ->
+          check_int "ok job counted its rows" 1 j.Runner.rows;
+          check_bool "ok job rendered" true (String.length j.Runner.rendered > 0)
+      | id, Runner.Failed msg -> Alcotest.failf "%s unexpectedly failed: %s" id msg)
+    report.Runner.jobs
+
+let manifest_shape () =
+  let report =
+    Runner.run_all ~pool_size:1 ~scale:1.0
+      ~experiments:[ ok_experiment "alpha"; failing_experiment "beta \"quoted\"" ]
+      ()
+  in
+  let manifest = Runner.manifest_json report in
+  let has sub =
+    let n = String.length manifest and m = String.length sub in
+    let rec loop i = i + m <= n && (String.sub manifest i m = sub || loop (i + 1)) in
+    loop 0
+  in
+  check_bool "schema tag" true (has "\"schema\": \"dvfs-bench-manifest/1\"");
+  check_bool "ok entry" true (has "{\"id\": \"alpha\", \"status\": \"ok\"");
+  check_bool "failed entry with escaped id" true
+    (has "{\"id\": \"beta \\\"quoted\\\"\", \"status\": \"failed\"");
+  check_bool "error recorded" true (has "\"error\": ");
+  check_bool "rows recorded" true (has "\"rows\": 1")
+
+let validation () =
+  Alcotest.check_raises "pool_size 0" (Invalid_argument "Runner.run_all: pool_size must be positive")
+    (fun () -> ignore (Runner.run_all ~pool_size:0 ~scale:1.0 ~experiments:[] ()));
+  Alcotest.check_raises "scale 0" (Invalid_argument "Runner.run_all: scale must be positive")
+    (fun () -> ignore (Runner.run_all ~pool_size:1 ~scale:0.0 ~experiments:[] ()));
+  (* A pool far larger than the job list is clamped, not an error. *)
+  let report = Runner.run_all ~pool_size:64 ~scale:1.0 ~experiments:[ ok_experiment "one" ] () in
+  check_int "pool clamped to job count" 1 report.Runner.pool_size
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "determinism",
+        [ Alcotest.test_case "serial vs jobs 1/2/4 byte-identical" `Slow differential_determinism ]
+      );
+      ( "mechanics",
+        [
+          Alcotest.test_case "failure isolation" `Quick failure_isolation;
+          Alcotest.test_case "manifest shape" `Quick manifest_shape;
+          Alcotest.test_case "validation" `Quick validation;
+        ] );
+    ]
