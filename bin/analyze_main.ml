@@ -1,0 +1,38 @@
+(* Driver for the AST analysis passes (dune build @analyze): parses every
+   compilation unit under the given roots with compiler-libs and runs the
+   unit-of-measure and domain-safety checks (see lib/staticcheck).  Exits
+   nonzero if any rule fires; --sarif FILE additionally writes the issues
+   as a SARIF 2.1.0 document (written even when clean, so CI can always
+   upload it). *)
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+
+let usage () =
+  Format.eprintf "usage: analyze_main [--sarif FILE] [root ...]@.";
+  exit 2
+
+let () =
+  let sarif = ref None in
+  let roots = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--sarif" :: path :: rest ->
+        sarif := Some path;
+        parse_args rest
+    | [ "--sarif" ] -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
+    | root :: rest ->
+        roots := root :: !roots;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let roots =
+    match List.rev !roots with
+    | [] -> List.filter Sys.file_exists default_roots
+    | roots ->
+        Report.check_roots ~tool:"analyze" roots;
+        roots
+  in
+  let issues = Staticcheck.analyze_paths roots in
+  Option.iter (fun path -> Staticcheck.Sarif.save ~tool:"staticcheck" issues ~path) !sarif;
+  exit (Report.report ~tool:"analyze" issues)

@@ -1,21 +1,15 @@
-(* Driver for the custom lint pass (dune build @lint): scans the given
-   roots (default: lib and bin) and exits nonzero if any rule fires. *)
+(* Driver for the custom text lint pass (dune build @lint): scans the
+   given roots (default: lib, bin, bench and examples) and exits nonzero
+   if any rule fires.  The AST passes live in analyze_main.ml. *)
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
 
 let () =
   let roots =
-    match Array.to_list Sys.argv with _ :: [] | [] -> [ "lib"; "bin" ] | _ :: rest -> rest
+    match Array.to_list Sys.argv with
+    | _ :: [] | [] -> List.filter Sys.file_exists default_roots
+    | _ :: rest ->
+        Report.check_roots ~tool:"lint" rest;
+        rest
   in
-  List.iter
-    (fun root ->
-      if not (Sys.file_exists root) then begin
-        Format.eprintf "lint: no such file or directory: %s@." root;
-        exit 2
-      end)
-    roots;
-  let issues = Lint.lint_paths roots in
-  List.iter (fun i -> Format.printf "%a@." Lint.pp_issue i) issues;
-  match issues with
-  | [] -> ()
-  | _ :: _ ->
-      Format.eprintf "lint: %d issue(s) found@." (List.length issues);
-      exit 1
+  exit (Report.report ~tool:"lint" (Lint.lint_paths roots))

@@ -41,7 +41,7 @@ let run ~seed:_ ~scale =
         ];
       (* Abuse of the time axis: index the series by the credit value so the
          two curves can be plotted against the paper's X axis. *)
-      let x = Sim_time.of_sec_f credit in
+      let x = Sim_time.of_sec_f credit (* lint:ignore unit-call: credit deliberately plotted on the time axis *) in
       Series.add t_max_series x t_max;
       Series.add t_new_series x t_new)
     [ 10.0; 20.0; 30.0; 40.0; 50.0; 60.0; 70.0; 80.0; 90.0; 100.0 ];

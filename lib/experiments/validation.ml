@@ -73,12 +73,12 @@ let run ~seed:_ ~scale =
   let t_init = Rig.run_pi ~arch ~credit:100.0 ~work () in
   List.iter
     (fun c ->
-      let t_j = Rig.run_pi ~arch ~credit:c ~work () in
+      let t_s = Rig.run_pi ~arch ~credit:c ~work () in
       Table.add_row eq3
         [
           Table.cell_f1 c;
-          Table.cell_f t_j;
-          Table.cell_f (t_j *. c /. 100.0);
+          Table.cell_f t_s;
+          Table.cell_f (t_s *. c /. 100.0);
           Table.cell_f t_init;
         ])
     [ 10.0; 20.0; 40.0; 60.0; 80.0; 100.0 ];

@@ -1,14 +1,33 @@
-type issue = { file : string; line : int; rule : string; message : string }
+type issue = Report.issue = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
 
-let waiver = "lint:ignore"
-
-let pp_issue ppf i =
-  Format.fprintf ppf "%s:%d: [%s] %s" i.file i.line i.rule i.message
+let waiver = Report.waiver
+let pp_issue = Report.pp_issue
 
 (* ------------------------------------------------------------------ *)
 (* Source preparation: blank comments, string and char literals so the
    rule matchers only ever see code.  Newlines are preserved so line
    numbers survive. *)
+
+(* A quoted string literal [{|…|}] / [{id|…|id}] starting at [i]: the
+   index just past the opening [|], and the delimiter id, if any. *)
+let quoted_string_open source i =
+  let n = String.length source in
+  if i >= n || source.[i] <> '{' then None
+  else begin
+    let j = ref (i + 1) in
+    while
+      !j < n && ((source.[!j] >= 'a' && source.[!j] <= 'z') || source.[!j] = '_')
+    do
+      incr j
+    done;
+    if !j < n && source.[!j] = '|' then Some (!j + 1, String.sub source (i + 1) (!j - i - 1))
+    else None
+  end
 
 let blank_non_code source =
   let n = String.length source in
@@ -40,6 +59,27 @@ let blank_non_code source =
       blank !i;
       blank (!i + 1);
       i := !i + 2
+    end
+    else if c = '{' && quoted_string_open source !i <> None then begin
+      (* [{|…|}] / [{id|…|id}]: contents are verbatim (no escapes); blank
+         everything up to and including the matching [|id}]. *)
+      let body, id =
+        match quoted_string_open source !i with
+        | Some r -> r
+        (* unreachable: guarded by the condition above *)
+        | None -> assert false
+      in
+      let close = "|" ^ id ^ "}" in
+      let m = String.length close in
+      let j = ref body in
+      while !j + m <= n && String.sub source !j m <> close do
+        incr j
+      done;
+      let stop = Stdlib.min (if !j + m <= n then !j + m else n) n in
+      for k = !i to stop - 1 do
+        blank k
+      done;
+      i := stop
     end
     else if c = '"' then begin
       blank !i;
@@ -396,67 +436,10 @@ let mutable_doc_issues ~file lines_code lines_raw =
   !issues
 
 (* ------------------------------------------------------------------ *)
-(* Rule: top-level mutable state in experiment modules.
-
-   The parallel runner executes experiment [run] closures on arbitrary
-   domains in arbitrary order; a module-level [ref]/[Hashtbl]/… shared by
-   runs would make results depend on scheduling.  Flag (a) a column-0
-   value binding whose right-hand side constructs a mutable value, and
-   (b) a [mutable] record field declared in an experiment implementation.
-   Locals inside functions are fine and not matched. *)
-
-let mutable_ctors =
-  [
-    "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create"; "Buffer.create";
-    "Atomic.make"; "Array.make"; "Array.init"; "Bytes.create"; "Bytes.make";
-  ]
-
-let in_experiments path =
-  List.exists (String.equal "experiments") (String.split_on_char '/' path)
-
-let experiment_state_issues ~file lines_code =
-  let issues = ref [] in
-  let flag ln msg =
-    issues := { file; line = ln + 1; rule = "experiment-state"; message = msg } :: !issues
-  in
-  Array.iteri
-    (fun ln line ->
-      let n = String.length line in
-      (* (a) [let name = <mutable constructor> …] at column 0: a module-level
-         value binding (a [let] with parameters never has [=] directly after
-         the first token, so function definitions do not match). *)
-      if n > 4 && String.sub line 0 4 = "let " then begin
-        let name = token_after line 4 in
-        if String.length name > 0 && name <> "()" then begin
-          let after_name =
-            let i = ref 4 in
-            while !i < n && line.[!i] = ' ' do incr i done;
-            !i + String.length name
-          in
-          let next = token_after line after_name in
-          let eq_pos = ref after_name in
-          while !eq_pos < n && line.[!eq_pos] = ' ' do incr eq_pos done;
-          if next = "" && !eq_pos < n && line.[!eq_pos] = '='
-             && not (!eq_pos + 1 < n && line.[!eq_pos + 1] = '=') then begin
-            let rhs = token_after line (!eq_pos + 1) in
-            if List.mem rhs mutable_ctors then
-              flag ln
-                (Printf.sprintf
-                   "top-level mutable state (%s = %s …) in an experiment module: runs must \
-                    share no mutable globals so the parallel runner stays deterministic"
-                   name rhs)
-          end
-        end
-      end;
-      (* (b) a [mutable] record field declared in an experiment module. *)
-      if word_before line n "mutable" then
-        flag ln
-          "mutable record field declared in an experiment module: experiment state must \
-           live inside the run closure, not at module level")
-    lines_code;
-  !issues
-
-(* ------------------------------------------------------------------ *)
+(* The old text-based [experiment-state] rule (top-level mutable state in
+   experiment modules) lived here until PR 3; it is subsumed by the AST
+   domain-safety pass in [lib/staticcheck], which resolves module aliases
+   and nesting instead of matching column-0 [let]s. *)
 
 let lint_source ~file content =
   let code = blank_non_code content in
@@ -468,45 +451,20 @@ let lint_source ~file content =
       float_eq_issues ~file lines_code
       @ random_issues ~file lines_code
       @ assert_false_issues ~file lines_code lines_raw
-      @ (if in_experiments file then experiment_state_issues ~file lines_code else [])
   in
   (* The waiver marker exempts a line from every rule. *)
-  List.filter
-    (fun i ->
-      let raw = if i.line - 1 < Array.length lines_raw then lines_raw.(i.line - 1) else "" in
-      not (contains_sub raw waiver))
-    issues
+  Report.drop_waived ~source:content issues
 
 (* ------------------------------------------------------------------ *)
 (* File-system walk + missing-mli. *)
-
-let rec collect path acc =
-  let base = Filename.basename path in
-  if base = "_build" || (String.length base > 0 && base.[0] = '.') then acc
-  else if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry -> collect (Filename.concat path entry) acc)
-      acc (Sys.readdir path)
-  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
-    path :: acc
-  else acc
 
 let in_lib path =
   List.exists (String.equal "lib") (String.split_on_char '/' path)
 
 let lint_paths roots =
-  let files =
-    List.fold_left (fun acc root -> if Sys.file_exists root then collect root acc else acc)
-      [] roots
-  in
-  let read path =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
+  let files = Report.collect_sources roots in
   let issues =
-    List.concat_map (fun path -> lint_source ~file:path (read path)) files
+    List.concat_map (fun path -> lint_source ~file:path (Report.read_file path)) files
   in
   let missing =
     List.filter_map
@@ -526,8 +484,4 @@ let lint_paths roots =
         else None)
       files
   in
-  List.sort
-    (fun a b ->
-      let c = String.compare a.file b.file in
-      if c <> 0 then c else Int.compare a.line b.line)
-    (issues @ missing)
+  Report.sort (issues @ missing)

@@ -19,19 +19,25 @@
     - [mutable-doc]: a [mutable] field exposed in an [.mli] without an
       adjacent doc comment; exposed mutability is an API contract and must
       be documented.
-    - [experiment-state]: in a [.ml] under an [experiments] directory, a
-      top-level value binding that constructs mutable state ([ref],
-      [Hashtbl.create], …) or a [mutable] record field.  Experiment [run]
-      closures are executed by the parallel runner on arbitrary domains in
-      arbitrary order and must share no mutable globals.
+
+    The old text-based [experiment-state] rule is subsumed by the AST
+    domain-safety pass in [lib/staticcheck] (rules [experiment-state] and
+    [domain-capture]), which works on program structure instead of
+    column-0 heuristics.
 
     Any line whose raw text contains ["lint:ignore"] is exempt from the
-    line-based rules. *)
+    line-based rules; issue records, the waiver marker and the report
+    format are shared with the AST analyzer through [Report]. *)
 
-type issue = { file : string; line : int; rule : string; message : string }
+type issue = Report.issue = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
 
 val waiver : string
-(** The waiver marker, ["lint:ignore"]. *)
+(** The waiver marker, ["lint:ignore"] ({!Report.waiver}). *)
 
 val lint_source : file:string -> string -> issue list
 (** Lints one compilation unit given its file name (the [.ml]/[.mli]

@@ -1,0 +1,69 @@
+type issue = { file : string; line : int; rule : string; message : string }
+
+let waiver = "lint:ignore"
+
+let pp_issue ppf i =
+  Format.fprintf ppf "%s:%d: [%s] %s" i.file i.line i.rule i.message
+
+let compare_issue a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else String.compare a.rule b.rule
+
+let sort issues = List.sort compare_issue issues
+
+let contains_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub line i m = sub || loop (i + 1)) in
+  m > 0 && loop 0
+
+let drop_waived ~source issues =
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  List.filter
+    (fun i ->
+      let raw =
+        if i.line >= 1 && i.line - 1 < Array.length lines then lines.(i.line - 1) else ""
+      in
+      not (contains_sub raw waiver))
+    issues
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec collect path acc =
+  let base = Filename.basename path in
+  if base = "_build" || (String.length base > 0 && base.[0] = '.') then acc
+  else if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> collect (Filename.concat path entry) acc)
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
+    path :: acc
+  else acc
+
+let collect_sources roots =
+  List.fold_left
+    (fun acc root -> if Sys.file_exists root then collect root acc else acc)
+    [] roots
+
+let check_roots ~tool roots =
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Format.eprintf "%s: no such file or directory: %s@." tool root;
+        exit 2
+      end)
+    roots
+
+let report ~tool issues =
+  List.iter (fun i -> Format.printf "%a@." pp_issue i) issues;
+  match issues with
+  | [] -> 0
+  | _ :: _ ->
+      Format.eprintf "%s: %d issue(s) found@." tool (List.length issues);
+      1

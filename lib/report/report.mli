@@ -1,0 +1,39 @@
+(** Shared reporting machinery for the source checkers.
+
+    Both the text lint ([lib/lint]) and the AST analyzer
+    ([lib/staticcheck]) produce the same flat issue records, honour the
+    same ["lint:ignore"] waiver marker, walk the tree the same way and
+    exit with the same convention (0 clean, 1 issues, 2 usage error).
+    This module is that common ground, so a CI consumer never has to
+    care which of the two passes produced a line. *)
+
+type issue = { file : string; line : int; rule : string; message : string }
+
+val waiver : string
+(** The waiver marker, ["lint:ignore"].  A source line whose raw text
+    contains it is exempt from every line-based rule of every checker. *)
+
+val pp_issue : Format.formatter -> issue -> unit
+(** ["file:line: [rule] message"] — the one report format. *)
+
+val sort : issue list -> issue list
+(** By file, then line, then rule. *)
+
+val drop_waived : source:string -> issue list -> issue list
+(** Removes issues whose raw source line contains {!waiver}. *)
+
+val read_file : string -> string
+(** Whole file, binary-exact. *)
+
+val collect_sources : string list -> string list
+(** Walks the given files and directories recursively (skipping [_build]
+    and dot-files) and returns every [.ml]/[.mli] found.  Roots that do
+    not exist are ignored; validate them first with {!check_roots}. *)
+
+val check_roots : tool:string -> string list -> unit
+(** Exits with code 2 (printing to stderr) if any root does not exist. *)
+
+val report : tool:string -> issue list -> int
+(** Prints every issue on stdout with {!pp_issue}, then an issue-count
+    summary on stderr when non-empty.  Returns the process exit code:
+    0 for a clean report, 1 otherwise — the one exit-code convention. *)

@@ -1,0 +1,25 @@
+(** Domain-safety pass: unsynchronized mutable state reachable from
+    parallel code, computed over the typed AST instead of text patterns.
+
+    Two rules:
+
+    - [domain-capture]: a closure passed to [Domain.spawn] (or
+      [Thread.create]) from which an unsynchronized mutable binding
+      declared outside the closure is reachable — directly, through a
+      module alias, or transitively through calls to other top-level
+      functions of the same compilation unit.  State built from
+      [Atomic.make] / [Mutex.create] (including arrays of atomics) is
+      synchronized and exempt, and references made under
+      [Mutex.protect] are not counted.
+
+    - [experiment-state]: in a [.ml] under an [experiments] directory,
+      any structure-level binding (at any module nesting depth, so
+      aliased and nested state is found where the old text rule's
+      column-0 heuristic was blind) that constructs unsynchronized
+      mutable state, and any [mutable] record field.  Experiment [run]
+      closures execute on arbitrary runner domains in arbitrary order
+      and must share no mutable globals.
+
+    The waiver filter is applied by the caller ([Staticcheck]). *)
+
+val check : file:string -> Parsetree.structure -> Report.issue list

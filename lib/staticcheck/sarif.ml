@@ -1,0 +1,61 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ~tool issues =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let rules =
+    List.sort_uniq String.compare (List.map (fun i -> i.Report.rule) issues)
+  in
+  add "{\n";
+  add "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  add "  \"version\": \"2.1.0\",\n";
+  add "  \"runs\": [\n";
+  add "    {\n";
+  add "      \"tool\": {\n";
+  add "        \"driver\": {\n";
+  add "          \"name\": \"%s\",\n" (escape tool);
+  add "          \"rules\": [\n";
+  List.iteri
+    (fun i r ->
+      add "            {\"id\": \"%s\"}%s\n" (escape r)
+        (if i = List.length rules - 1 then "" else ","))
+    rules;
+  add "          ]\n";
+  add "        }\n";
+  add "      },\n";
+  add "      \"results\": [\n";
+  List.iteri
+    (fun i issue ->
+      add
+        "        {\"ruleId\": \"%s\", \"level\": \"error\", \"message\": {\"text\": \
+         \"%s\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": \
+         {\"uri\": \"%s\"}, \"region\": {\"startLine\": %d}}}]}%s\n"
+        (escape issue.Report.rule) (escape issue.Report.message)
+        (escape issue.Report.file) issue.Report.line
+        (if i = List.length issues - 1 then "" else ","))
+    issues;
+  add "      ]\n";
+  add "    }\n";
+  add "  ]\n";
+  add "}\n";
+  Buffer.contents buf
+
+let save ~tool issues ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~tool issues))

@@ -1,0 +1,11 @@
+(** SARIF 2.1.0 serialization of analyzer issues, for CI upload.
+
+    One run, one [tool.driver] named after the analyzer, one result per
+    issue with the rule id, the message and a [physicalLocation] region
+    pointing at the flagged line.  The rule table is deduplicated from
+    the issues present. *)
+
+val to_string : tool:string -> Report.issue list -> string
+(** The complete SARIF document, valid JSON. *)
+
+val save : tool:string -> Report.issue list -> path:string -> unit

@@ -1,0 +1,61 @@
+module Units = Units
+module Unit_check = Unit_check
+module Domain_check = Domain_check
+module Sarif = Sarif
+
+let parse_with parser ~file content =
+  let lexbuf = Lexing.from_string content in
+  Lexing.set_filename lexbuf file;
+  parser lexbuf
+
+let parse_error_issue ~file exn =
+  let line =
+    match Location.error_of_exn exn with
+    | Some (`Ok report) ->
+        report.Location.main.Location.loc.Location.loc_start.Lexing.pos_lnum
+    | Some `Already_displayed | None -> 1
+  in
+  {
+    Report.file;
+    line;
+    rule = "parse-error";
+    message = Printf.sprintf "not parseable as OCaml: %s" (Printexc.to_string exn);
+  }
+
+let module_name_of file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+let analyze_source ?(registry = Units.builtin) ~file content =
+  if Filename.check_suffix file ".mli" then []
+  else
+    match parse_with Parse.implementation ~file content with
+    | exception exn -> [ parse_error_issue ~file exn ]
+    | str ->
+        let issues =
+          Unit_check.check ~registry ~file str @ Domain_check.check ~file str
+        in
+        Report.sort (Report.drop_waived ~source:content issues)
+
+let registry_of_paths roots =
+  let files = Report.collect_sources roots in
+  List.fold_left
+    (fun registry file ->
+      if not (Filename.check_suffix file ".mli") then registry
+      else
+        match parse_with Parse.interface ~file (Report.read_file file) with
+        | exception _ -> registry (* the .ml analysis reports parse errors *)
+        | signature ->
+            List.fold_left Units.add registry
+              (Units.of_interface ~module_name:(module_name_of file) signature))
+    Units.builtin files
+
+let analyze_paths roots =
+  let registry = registry_of_paths roots in
+  let files = Report.collect_sources roots in
+  Report.sort
+    (List.concat_map
+       (fun file ->
+         if Filename.check_suffix file ".ml" then
+           analyze_source ~registry ~file (Report.read_file file)
+         else [])
+       files)

@@ -1,0 +1,43 @@
+(** AST-level static analysis for the simulator (dune build @analyze).
+
+    Where [lib/lint] pattern-matches blanked source text, this engine
+    parses every compilation unit with the compiler's own parser
+    ([compiler-libs]) and runs structural passes with per-rule state over
+    the parsetree:
+
+    - the {b unit-of-measure checker} ({!Unit_check}): [unit-arith],
+      [unit-call], [unit-binding] — cross-unit arithmetic, comparisons,
+      mismatched arguments to the Eq. (1)–(4) entry points
+      ([Equations], [Pas_sched], [Cpufreq], [Frequency], …) and
+      suffix-contradicting bindings, driven by the {!Units} vocabulary
+      and a registry seeded from the [.mli] declarations it walks;
+    - the {b domain-safety pass} ({!Domain_check}): [domain-capture],
+      [experiment-state] — unsynchronized mutable state reachable from
+      closures spawned on other domains, and structure-level mutable
+      state in experiment modules, by reachability over the AST
+      (module aliases and nesting resolved, [Atomic]/[Mutex] exempt).
+
+    A file that does not parse yields a single [parse-error] issue.  The
+    ["lint:ignore"] waiver marker and the issue/report format are shared
+    with the text lint through [Report]. *)
+
+module Units = Units
+module Unit_check = Unit_check
+module Domain_check = Domain_check
+module Sarif = Sarif
+
+val analyze_source :
+  ?registry:Units.registry -> file:string -> string -> Report.issue list
+(** Analyzes one [.ml] compilation unit given its file name and full
+    contents; [.mli] inputs yield no issues (interfaces only feed the
+    registry).  [registry] defaults to {!Units.builtin}.  Waived lines
+    are already filtered; issues are sorted. *)
+
+val registry_of_paths : string list -> Units.registry
+(** {!Units.builtin} extended with {!Units.of_interface} entries from
+    every [.mli] under the given roots. *)
+
+val analyze_paths : string list -> Report.issue list
+(** Walks the given files and directories like [Lint.lint_paths], builds
+    the registry from every interface found, then analyzes every
+    implementation.  Issues are sorted by file and line. *)

@@ -1,0 +1,190 @@
+open Parsetree
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let rec flatten (l : Longident.t) =
+  match l with
+  | Longident.Lident s -> Some [ s ]
+  | Longident.Ldot (l, s) -> Option.map (fun p -> p @ [ s ]) (flatten l)
+  | Longident.Lapply _ -> None
+
+let strip_stdlib = function "Stdlib" :: (_ :: _ as rest) -> rest | p -> p
+
+let ident_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Option.map strip_stdlib (flatten txt)
+  | _ -> None
+
+let rec last = function [ x ] -> Some x | _ :: rest -> last rest | [] -> None
+
+let positionals args =
+  List.filter_map (function Asttypes.Nolabel, a -> Some a | _ -> None) args
+
+(* Unit-transparent single-argument wrappers. *)
+let passthrough =
+  [
+    [ "float_of_int" ]; [ "int_of_float" ]; [ "truncate" ];
+    [ "Float"; "of_int" ]; [ "Float"; "to_int" ]; [ "Float"; "abs" ];
+    [ "Float"; "round" ]; [ "abs_float" ]; [ "abs" ]; [ "floor" ]; [ "ceil" ];
+    [ "ref" ]; [ "!" ]; [ "~-" ]; [ "~-." ]; [ "~+" ]; [ "~+." ];
+  ]
+
+let merging =
+  [
+    [ "min" ]; [ "max" ]; [ "Float"; "min" ]; [ "Float"; "max" ];
+    [ "+" ]; [ "-" ]; [ "+." ]; [ "-." ];
+  ]
+
+(* The unit of an expression, when the naming conventions and the registry
+   pin one down.  [None] means "unknown", never "dimensionless". *)
+let rec unit_of registry e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match flatten txt with
+      | Some p -> Option.bind (last p) Units.of_ident
+      | None -> None)
+  | Pexp_field (_, { txt; _ }) -> (
+      match flatten txt with
+      | Some p -> Option.bind (last p) Units.of_ident
+      | None -> None)
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e)
+  | Pexp_newtype (_, e) | Pexp_sequence (_, e) | Pexp_let (_, _, e)
+  | Pexp_letmodule (_, _, e) ->
+      unit_of registry e
+  | Pexp_apply (f, args) -> (
+      match ident_path f with
+      | None -> None
+      | Some p -> (
+          match (p, positionals args) with
+          | _, [ a ] when List.mem p passthrough -> unit_of registry a
+          | _, [ a; b ] when List.mem p merging -> (
+              match (unit_of registry a, unit_of registry b) with
+              | Some u, Some v -> if Units.compatible u v then Some u else None
+              | (Some _ as u), None | None, (Some _ as u) -> u
+              | None, None -> None)
+          | ([ "*." ] | [ "*" ]), [ a; b ] -> (
+              (* scaling by a fraction preserves the unit *)
+              match (unit_of registry a, unit_of registry b) with
+              | Some Units.Frac, (Some _ as u) | (Some _ as u), Some Units.Frac -> u
+              | _ -> None)
+          | ([ "/." ] | [ "/" ]), [ a; b ] -> (
+              match (unit_of registry a, unit_of registry b) with
+              | Some u, Some v when Units.compatible u v -> Some Units.Frac
+              | (Some _ as u), Some Units.Frac -> u
+              | _ -> None)
+          | _, _ -> (
+              match Units.find_call registry p with
+              | Some entry -> entry.Units.result
+              | None -> (
+                  (* [to_sec]-style conversions declare their result unit *)
+                  match last p with
+                  | Some fn when String.length fn > 3 && String.sub fn 0 3 = "to_" ->
+                      Units.of_ident fn
+                  | _ -> None))))
+  | _ -> None
+
+let arith_ops = [ "+"; "-"; "+."; "-." ]
+let cmp_ops = [ "="; "=="; "<>"; "!="; "<"; ">"; "<="; ">=" ]
+
+let describe e u =
+  let what =
+    match ident_path e with
+    | Some p -> String.concat "." p
+    | None -> (
+        match e.pexp_desc with
+        | Pexp_field (_, { txt; _ }) -> (
+            match flatten txt with Some p -> String.concat "." p | None -> "this operand")
+        | _ -> "this operand")
+  in
+  Printf.sprintf "%s : %s" what (Units.to_string u)
+
+let check ~registry ~file str =
+  let issues = ref [] in
+  let flag line rule message = issues := { Report.file; line; rule; message } :: !issues in
+  let check_apply e f args =
+    (* cross-unit arithmetic and comparison *)
+    (match (ident_path f, positionals args) with
+    | Some [ op ], [ a; b ] when List.mem op arith_ops || List.mem op cmp_ops -> (
+        match (unit_of registry a, unit_of registry b) with
+        | Some u, Some v when not (Units.compatible u v) ->
+            flag (line_of e.pexp_loc) "unit-arith"
+              (Printf.sprintf
+                 "(%s) mixes incompatible units: %s vs %s — convert explicitly or \
+                  waive with (* %s unit-arith *)"
+                 op (describe a u) (describe b v) Report.waiver)
+        | _ -> ())
+    | _ -> ());
+    (* argument units against the registry and against label suffixes *)
+    let entry = Option.bind (ident_path f) (Units.find_call registry) in
+    let callee =
+      match ident_path f with Some p -> String.concat "." p | None -> "call"
+    in
+    let pos_index = ref (-1) in
+    List.iter
+      (fun (label, arg) ->
+        match label with
+        | Asttypes.Labelled l | Asttypes.Optional l -> (
+            let expected =
+              match entry with
+              | Some en -> (
+                  match List.assoc_opt l en.Units.labels with
+                  | Some u -> Some u
+                  | None -> Units.of_ident l)
+              | None -> Units.of_ident l
+            in
+            match (expected, unit_of registry arg) with
+            | Some u, Some v when not (Units.compatible u v) ->
+                flag (line_of arg.pexp_loc) "unit-call"
+                  (Printf.sprintf
+                     "~%s of %s expects %s, got %s — convert explicitly or waive \
+                      with (* %s unit-call *)"
+                     l callee (Units.to_string u) (describe arg v) Report.waiver)
+            | _ -> ())
+        | Asttypes.Nolabel -> (
+            incr pos_index;
+            match entry with
+            | Some en -> (
+                match List.assoc_opt !pos_index en.Units.positional with
+                | Some u -> (
+                    match unit_of registry arg with
+                    | Some v when not (Units.compatible u v) ->
+                        flag (line_of arg.pexp_loc) "unit-call"
+                          (Printf.sprintf
+                             "argument %d of %s expects %s, got %s — convert \
+                              explicitly or waive with (* %s unit-call *)"
+                             (!pos_index + 1) callee (Units.to_string u)
+                             (describe arg v) Report.waiver)
+                    | _ -> ())
+                | None -> ())
+            | None -> ()))
+      args
+  in
+  let expr_handler iter e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, args) -> check_apply e f args
+    | _ -> ());
+    Ast_iterator.default_iterator.expr iter e
+  in
+  let vb_handler iter vb =
+    (match vb.pvb_pat.ppat_desc with
+    | Ppat_var { txt = name; _ } -> (
+        match (Units.of_ident name, unit_of registry vb.pvb_expr) with
+        | Some u, Some v when not (Units.compatible u v) ->
+            flag (line_of vb.pvb_loc) "unit-binding"
+              (Printf.sprintf
+                 "%s is bound to a value in %s but its suffix declares %s — rename \
+                  the binding or convert, or waive with (* %s unit-binding *)"
+                 name (Units.to_string v) (Units.to_string u) Report.waiver)
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.value_binding iter vb
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = expr_handler;
+      value_binding = vb_handler;
+    }
+  in
+  it.structure it str;
+  !issues

@@ -1,0 +1,23 @@
+(** Unit-of-measure pass over the parsetree.
+
+    Infers a unit for every expression it can (identifier and record-field
+    suffixes, registry-known calls, unit-preserving operators — see
+    {!Units}) and flags structural mixing:
+
+    - [unit-arith]: [+], [-], [+.], [-.] or a comparison between operands
+      of incompatible units (adding MHz to credits, comparing a fraction
+      to a percentage, …).  Multiplication and division are exempt —
+      that is how Eq. (1)–(4) legitimately combine quantities — but stay
+      unit-transparent for inference: scaling by a fraction preserves the
+      unit, and the quotient of two same-unit quantities is a fraction.
+    - [unit-call]: an argument whose inferred unit contradicts what the
+      callee declares — by registry entry ({!Units.builtin} plus
+      [.mli]-derived entries) for both labelled and positional arguments,
+      or by the label's own suffix for any labelled argument anywhere.
+    - [unit-binding]: [let name_u = expr] where [expr]'s inferred unit
+      contradicts the binding's suffix.
+
+    The waiver filter is applied by the caller ([Staticcheck]). *)
+
+val check :
+  registry:Units.registry -> file:string -> Parsetree.structure -> Report.issue list

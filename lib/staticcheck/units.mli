@@ -1,0 +1,69 @@
+(** The unit-of-measure vocabulary of the simulator.
+
+    The hot paths juggle five incompatible physical quantities — frequency
+    (MHz), CPU credits, load percentages, fractions in [\[0,1\]] (ratios,
+    calibration factors), seconds, and the energy pair joules/watts.  The
+    paper's Eq. (1)–(4) mix them only through multiplication by
+    dimensionless ratios; adding or comparing across units is always a
+    bug.  Units are carried by naming convention:
+
+    - identifier {e suffixes}: [_mhz], [_credits]/[_credit], [_pct] /
+      [_percent], [_frac]/[_fraction], [_s]/[_sec]/[_secs]/[_seconds],
+      [_j]/[_joules], [_w]/[_watts];
+    - {e well-known words}: [ratio] and [cf] are fractions, [mhz]/[credit]/
+      [credits]/[pct]/[frac]/[joules]/[watts] denote themselves.
+
+    Credits are denominated in percent of full-speed capacity (Eq. 4's
+    compensated credit may exceed 100), so [Credits] and [Pct] are
+    mutually {!compatible}; every other pair is not — in particular
+    [Frac] vs [Pct], the off-by-×100 the PAS compensation rule
+    [C_new = C_init / (ratio * cf)] is most easily corrupted by.
+
+    A {!registry} maps known entry points ([Equations], [Pas_sched],
+    [Cpufreq], [Frequency], [Calibration], [Power], …) to the units of
+    their labelled and positional arguments and of their result.  The
+    {!builtin} registry seeds the Eq. (1)–(4) signatures whose label
+    names ([~initial], [~t_max], …) carry no suffix; {!of_interface}
+    extends it from any [.mli], following the declaration conventions
+    ([val duration_s : …] declares a seconds-valued result, a labelled
+    argument [~freq_mhz:…] declares an MHz parameter). *)
+
+type t = Mhz | Credits | Pct | Frac | Seconds | Joules | Watts
+
+val to_string : t -> string
+(** Human name used in messages, e.g. ["MHz"], ["fraction in [0,1]"]. *)
+
+val compatible : t -> t -> bool
+(** Equality, except [Credits]/[Pct] which are interchangeable. *)
+
+val of_ident : string -> t option
+(** Unit of an identifier or argument label, by suffix or well-known
+    word; [None] when the name carries no unit. *)
+
+type entry = {
+  path : string list;
+      (** Qualified name, e.g. [["Equations"; "compensated_credit"]].  A
+          call site matches when the entry path is a suffix of the
+          (possibly longer-qualified) call path. *)
+  labels : (string * t) list;  (** units of labelled arguments *)
+  positional : (int * t) list;
+      (** units of positional arguments, 0-based over [Nolabel] slots *)
+  result : t option;
+}
+
+type registry
+
+val builtin : registry
+(** The hand-seeded Eq. (1)–(4) entry points and the frequency /
+    calibration / power accessors. *)
+
+val add : registry -> entry -> registry
+
+val find_call : registry -> string list -> entry option
+(** Entry whose [path] is a suffix of the given call path; the call must
+    be at least as qualified as the entry. *)
+
+val of_interface : module_name:string -> Parsetree.signature -> entry list
+(** Entries derived from [val] declarations: labelled-argument units from
+    the label names, the result unit from the value's own name.  Only
+    declarations contributing at least one unit are returned. *)

@@ -273,23 +273,23 @@ let test_lint_mutable_doc () =
     (Lint.lint_source ~file:"lib/fake/fake.mli" documented = []);
   check_bool "mutable in ml is fine" true (issues_of src = [])
 
-let test_lint_experiment_state () =
-  let exp_issues src = Lint.lint_source ~file:"lib/experiments/fake.ml" src in
-  check_bool "top-level ref flagged" true
-    (rules (exp_issues "let cache = ref []\n") = [ "experiment-state" ]);
-  check_bool "top-level Hashtbl flagged" true
-    (rules (exp_issues "let memo = Hashtbl.create 16\n") = [ "experiment-state" ]);
-  check_bool "mutable record field flagged" true
-    (rules (exp_issues "type t = {\n  mutable hits : int;\n}\n") = [ "experiment-state" ]);
-  check_bool "ref local to a function is fine" true
-    (exp_issues "let f xs =\n  let sum = ref 0.0 in\n  List.iter (fun x -> sum := !sum +. x) xs\n" = []);
-  check_bool "plain top-level value is fine" true (exp_issues "let all = [ a; b ]\n" = []);
-  check_bool "function binding is fine" true
-    (exp_issues "let make ~id = ref_free id\n" = []);
-  check_bool "rule only applies under experiments/" true
-    (issues_of "let cache = ref []\n" = []);
-  check_bool "waiver applies" true
-    (exp_issues "let cache = ref [] (* lint:ignore experiment-state: build-time only *)\n" = [])
+(* The old text-based [experiment-state] rule moved to the AST analyzer
+   (lib/staticcheck, test/test_staticcheck.ml), which also catches aliased
+   module state the text scan could not see.  What stays here is the
+   tokenizer: quoted string literals must be blanked like ordinary strings,
+   including bodies that contain comment openers, quotes and rule bait. *)
+let test_lint_quoted_string () =
+  check_bool "quoted string is blanked" true
+    (issues_of "let ok = {|Random.int \" (* x = 1.0 *)|}\n" = []);
+  check_bool "delimited quoted string is blanked" true
+    (issues_of "let ok = {foo|Random.int \" x = 1.0 |} |foo}\n" = []);
+  check_bool "unterminated quoted string blanks to eof" true
+    (issues_of "let ok = {|x = 1.0\n" = []);
+  check_bool "code after the literal is still checked" true
+    (rules (issues_of "let s = {|quiet|}\nlet x = Random.int 3\n") = [ "random" ]);
+  check_bool "brace without a delimiter is not a literal" true
+    (rules (issues_of "let f r = { r with x = 1 }\nlet y = Random.int 3\n")
+    = [ "random" ])
 
 (* The acceptance check: the standalone driver (what [dune build @lint]
    runs) exits nonzero on a tree with a planted violation and zero on a
@@ -358,7 +358,7 @@ let () =
           Alcotest.test_case "unseeded random" `Quick test_lint_random;
           Alcotest.test_case "assert false" `Quick test_lint_assert_false;
           Alcotest.test_case "mutable without doc" `Quick test_lint_mutable_doc;
-          Alcotest.test_case "experiment global state" `Quick test_lint_experiment_state;
+          Alcotest.test_case "quoted strings" `Quick test_lint_quoted_string;
           Alcotest.test_case "driver exit code" `Quick test_lint_driver_exit_code;
         ] );
     ]

@@ -1,0 +1,416 @@
+(* The AST analysis passes (lib/staticcheck): the unit-of-measure checker,
+   the domain-safety pass, the SARIF serializer and the standalone driver
+   behind [dune build @analyze].
+
+   Fixtures are in-memory snippets, one per rule, positive and negative —
+   each intentionally-broken fixture must trigger exactly its rule and
+   nothing else.  The SARIF output is parsed back with a minimal JSON
+   reader (no JSON library in the tree) to check it is well-formed and
+   round-trips the issue count. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let analyze ?(file = "lib/fake/fake.ml") src = Staticcheck.analyze_source ~file src
+let rules issues = List.sort_uniq compare (List.map (fun i -> i.Report.rule) issues)
+
+let check_rules msg expected src = Alcotest.(check (list string)) msg expected (rules (analyze src))
+
+(* ----- unit-of-measure checker ----- *)
+
+let test_unit_arith () =
+  check_rules "cross-unit add flagged" [ "unit-arith" ]
+    "let f freq_mhz time_s = freq_mhz + time_s\n";
+  check_rules "cross-unit subtract flagged" [ "unit-arith" ]
+    "let g energy_joules idle_watts = energy_joules -. idle_watts\n";
+  check_rules "cross-unit comparison flagged" [ "unit-arith" ]
+    "let too_hot load_pct time_s = load_pct > time_s\n";
+  check_rules "same unit is fine" [] "let f a_mhz b_mhz = a_mhz + b_mhz\n";
+  check_rules "credits and percent mix freely" []
+    "let f credit_pct extra_credits = credit_pct +. extra_credits\n";
+  check_rules "scaling by a fraction preserves the unit" []
+    "let f ratio time_s = time_s *. ratio +. time_s\n";
+  check_rules "quotient of same unit is a fraction" []
+    "let share_frac time_s total_seconds = time_s /. total_seconds\n";
+  check_rules "unknown operands stay silent" [] "let f a b = a + b\n"
+
+let test_unit_call () =
+  check_rules "seconds into ~initial:credits flagged" [ "unit-call" ]
+    "let f ~ratio ~cf t_max_s =\n\
+    \  Pas.Equations.compensated_credit ~initial:t_max_s ~ratio ~cf\n";
+  check_rules "percent into ~initial:credits is fine" []
+    "let f ~ratio ~cf credit_pct =\n\
+    \  Pas.Equations.compensated_credit ~initial:credit_pct ~ratio ~cf\n";
+  check_rules "seconds into Cpufreq.set's MHz argument flagged" [ "unit-call" ]
+    "let f cpu time_s = Cpufreq.set cpu time_s\n";
+  check_rules "MHz into Cpufreq.set is fine" []
+    "let f cpu new_freq = Cpufreq.set cpu new_freq\n";
+  check_rules "label suffix checks calls outside the registry" [ "unit-call" ]
+    "let f time_s = Totally.unknown ~freq_mhz:time_s ()\n";
+  check_rules "bare set does not match the Cpufreq.set entry" []
+    "let f cpu time_s = set cpu time_s\n"
+
+let test_unit_binding () =
+  check_rules "joules suffix on a seconds value flagged" [ "unit-binding" ]
+    "let t_j = Sim_time.to_sec now\n";
+  check_rules "seconds suffix on a seconds value is fine" []
+    "let t_s = Sim_time.to_sec now\n";
+  check_rules "registry result propagates to the binding" [ "unit-binding" ]
+    "let best_mhz = Rig.run_pi ~arch ~work ()\n";
+  check_rules "suffixless binding is fine" [] "let best = Rig.run_pi ~arch ~work ()\n"
+
+let test_unit_waiver () =
+  check_rules "waived line is exempt" []
+    "let t_j = Sim_time.to_sec now (* lint:ignore unit-binding: axis abuse *)\n"
+
+let test_parse_error () =
+  check_rules "unparseable file yields exactly parse-error" [ "parse-error" ]
+    "let = in\n"
+
+(* ----- domain-safety pass ----- *)
+
+let test_domain_capture () =
+  check_rules "spawned closure reaching a top-level ref flagged" [ "domain-capture" ]
+    "let counter = ref 0\nlet go () = Domain.spawn (fun () -> incr counter)\n";
+  check_rules "Thread.create counts as a spawn" [ "domain-capture" ]
+    "let hits = Hashtbl.create 8\n\
+     let go () = Thread.create (fun () -> Hashtbl.clear hits) ()\n";
+  check_rules "reachability through a named local worker" [ "domain-capture" ]
+    "let hits = Hashtbl.create 8\n\
+     let go () =\n\
+    \  let worker () = Hashtbl.clear hits in\n\
+    \  Domain.spawn worker\n";
+  check_rules "atomic state is fine" []
+    "let counter = Atomic.make 0\nlet go () = Domain.spawn (fun () -> Atomic.incr counter)\n";
+  check_rules "array of atomics is fine" []
+    "let cells = Array.init 4 (fun _ -> Atomic.make 0)\n\
+     let go () = Domain.spawn (fun () -> Atomic.incr cells.(0))\n";
+  check_rules "capture under Mutex.protect is fine" []
+    "let m = Mutex.create ()\n\
+     let counter = ref 0\n\
+     let go () = Domain.spawn (fun () -> Mutex.protect m (fun () -> incr counter))\n";
+  check_rules "state created inside the closure is fine" []
+    "let go () = Domain.spawn (fun () -> let acc = ref 0 in incr acc; !acc)\n";
+  check_rules "mutable state without a spawn is fine" []
+    "let counter = ref 0\nlet bump () = incr counter\n";
+  check_rules "waiver on the spawn line applies" []
+    "let counter = ref 0\n\
+     let go () = Domain.spawn (fun () -> incr counter) (* lint:ignore domain-capture: test rig *)\n"
+
+let test_domain_capture_module_alias () =
+  check_rules "capture through a module alias is resolved" [ "domain-capture" ]
+    "module State = struct\n\
+    \  let n = ref 0\n\
+     end\n\
+     module S = State\n\
+     let go () = Domain.spawn (fun () -> incr S.n)\n"
+
+(* The acceptance fixture for subsuming the old text rule: mutable state
+   declared inside a nested module and reached through a module alias.
+   The retired text scan only matched column-zero [let … = ref …] lines,
+   so this exact source was invisible to it — the AST pass must flag it
+   (and the text lint must stay silent, proving where the rule now lives). *)
+let test_experiment_state_alias () =
+  let src =
+    "module State = struct\n\
+    \  let cache = ref []\n\
+     end\n\
+     module S = State\n\
+     let lookup () = !S.cache\n"
+  in
+  Alcotest.(check (list string)) "nested mutable global flagged under experiments/"
+    [ "experiment-state" ]
+    (rules (analyze ~file:"lib/experiments/fake.ml" src));
+  check_bool "text lint no longer owns the rule" true
+    (Lint.lint_source ~file:"lib/experiments/fake.ml" src = []);
+  check_rules "same source outside experiments/ is fine" [] src
+
+let test_experiment_state () =
+  let exp ~file src = rules (Staticcheck.analyze_source ~file src) in
+  check_bool "top-level ref flagged" true
+    (exp ~file:"lib/experiments/fake.ml" "let cache = ref []\n" = [ "experiment-state" ]);
+  check_bool "mutable record field flagged" true
+    (exp ~file:"lib/experiments/fake.ml" "type t = {\n  mutable hits : int;\n}\n"
+    = [ "experiment-state" ]);
+  check_bool "atomic is fine" true
+    (exp ~file:"lib/experiments/fake.ml" "let seq = Atomic.make 0\n" = []);
+  check_bool "ref local to a function is fine" true
+    (exp ~file:"lib/experiments/fake.ml"
+       "let f xs =\n  let sum = ref 0.0 in\n  List.iter (fun x -> sum := !sum +. x) xs\n"
+    = []);
+  check_bool "waiver applies" true
+    (exp ~file:"lib/experiments/fake.ml"
+       "let cache = ref [] (* lint:ignore experiment-state: build-time only *)\n"
+    = [])
+
+(* ----- SARIF: minimal JSON reader and round-trip ----- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then (
+      pos := !pos + m;
+      v)
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            (if !pos >= n then fail "dangling escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '/' -> Buffer.add_char buf '/'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | 'u' ->
+                   if !pos + 4 >= n then fail "truncated \\u escape";
+                   let code =
+                     match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                     | Some c -> c
+                     | None -> fail "bad \\u escape"
+                   in
+                   pos := !pos + 4;
+                   Buffer.add_char buf (if code < 128 then Char.chr code else '?')
+               | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then (
+          incr pos;
+          J_obj [])
+        else
+          let members = ref [] in
+          let rec members_loop () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            members := (key, v) :: !members;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members_loop ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected , or } in object"
+          in
+          members_loop ();
+          J_obj (List.rev !members)
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then (
+          incr pos;
+          J_list [])
+        else
+          let items = ref [] in
+          let rec items_loop () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                items_loop ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected , or ] in array"
+          in
+          items_loop ();
+          J_list (List.rev !items)
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match s.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr pos
+        done;
+        if !pos = start then fail "unexpected character"
+        else (
+          match float_of_string_opt (String.sub s start (!pos - start)) with
+          | Some f -> J_num f
+          | None -> fail "bad number")
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | J_obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> Alcotest.failf "missing JSON key %S" key)
+  | _ -> Alcotest.failf "expected an object holding %S" key
+
+let as_list = function
+  | J_list l -> l
+  | _ -> Alcotest.fail "expected a JSON array"
+
+let as_str = function
+  | J_str s -> s
+  | _ -> Alcotest.fail "expected a JSON string"
+
+let sarif_results doc = as_list (member "results" (List.hd (as_list (member "runs" doc))))
+
+let test_sarif_roundtrip () =
+  (* three issues across two rules: results must round-trip 1:1, the rule
+     table must deduplicate *)
+  let issues =
+    analyze
+      "let f freq_mhz time_s = freq_mhz + time_s\n\
+       let g load_pct dur_s = load_pct -. dur_s\n\
+       let t_j = Sim_time.to_sec now\n"
+  in
+  check_int "fixture yields three issues" 3 (List.length issues);
+  let doc = parse_json (Staticcheck.Sarif.to_string ~tool:"staticcheck" issues) in
+  check_bool "sarif version" true (as_str (member "version" doc) = "2.1.0");
+  let run = List.hd (as_list (member "runs" doc)) in
+  let driver = member "driver" (member "tool" run) in
+  check_bool "tool name" true (as_str (member "name" driver) = "staticcheck");
+  let results = sarif_results doc in
+  check_int "one result per issue" (List.length issues) (List.length results);
+  let rule_ids = List.sort_uniq compare (List.map (fun r -> as_str (member "ruleId" r)) results) in
+  Alcotest.(check (list string)) "rule ids survive" [ "unit-arith"; "unit-binding" ] rule_ids;
+  check_int "rule table deduplicated" 2 (List.length (as_list (member "rules" driver)));
+  List.iter
+    (fun r ->
+      let loc = List.hd (as_list (member "locations" r)) in
+      let phys = member "physicalLocation" loc in
+      check_bool "artifact is the analyzed file" true
+        (as_str (member "uri" (member "artifactLocation" phys)) = "lib/fake/fake.ml");
+      check_bool "region has a line" true
+        (match member "startLine" (member "region" phys) with
+        | J_num l -> l >= 1.0
+        | _ -> false))
+    results
+
+let test_sarif_clean () =
+  let doc = parse_json (Staticcheck.Sarif.to_string ~tool:"staticcheck" []) in
+  check_int "clean report still parses, with zero results" 0
+    (List.length (sarif_results doc))
+
+let test_sarif_escaping () =
+  (* messages reach SARIF through the JSON escaper; quotes, backslashes and
+     newlines must survive the round trip *)
+  let issue =
+    { Report.file = "lib/fake/fake.ml"; line = 3; rule = "unit-arith";
+      message = "tricky \"quoted\" \\ and\nnewline" }
+  in
+  let doc = parse_json (Staticcheck.Sarif.to_string ~tool:"staticcheck" [ issue ]) in
+  let msg = as_str (member "text" (member "message" (List.hd (sarif_results doc)))) in
+  check_bool "message round-trips" true (msg = issue.Report.message)
+
+(* The acceptance check, mirroring the lint one: the standalone driver
+   (what [dune build @analyze] runs) exits 0 on a clean tree, nonzero on a
+   planted violation, and always leaves a parseable SARIF file behind. *)
+let test_driver_exit_code () =
+  let exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/analyze_main.exe"
+  in
+  let dir = Filename.temp_file "analyzecheck" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let write name content =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc content;
+    close_out oc
+  in
+  let sarif_path = Filename.concat dir "out.sarif" in
+  let run args =
+    Sys.command
+      (Filename.quote_command exe args ~stdout:Filename.null ~stderr:Filename.null)
+  in
+  write "clean.ml" "let ok x = x + 1\n";
+  check_int "clean tree exits 0" 0 (run [ dir ]);
+  write "planted.ml" "let f freq_mhz time_s = freq_mhz + time_s\n";
+  check_bool "planted unit-arith exits nonzero" true (run [ "--sarif"; sarif_path; dir ] <> 0);
+  let doc = parse_json (Report.read_file sarif_path) in
+  check_int "driver sarif round-trips the issue count" 1 (List.length (sarif_results doc));
+  check_bool "usage error exits 2" true (run [ "--bogus"; dir ] = 2);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "staticcheck"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "cross-unit arithmetic" `Quick test_unit_arith;
+          Alcotest.test_case "mismatched calls" `Quick test_unit_call;
+          Alcotest.test_case "contradicting bindings" `Quick test_unit_binding;
+          Alcotest.test_case "waiver" `Quick test_unit_waiver;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "spawn captures" `Quick test_domain_capture;
+          Alcotest.test_case "module aliases" `Quick test_domain_capture_module_alias;
+          Alcotest.test_case "experiment state" `Quick test_experiment_state;
+          Alcotest.test_case "aliased experiment state" `Quick test_experiment_state_alias;
+        ] );
+      ( "sarif",
+        [
+          Alcotest.test_case "round trip" `Quick test_sarif_roundtrip;
+          Alcotest.test_case "clean report" `Quick test_sarif_clean;
+          Alcotest.test_case "escaping" `Quick test_sarif_escaping;
+          Alcotest.test_case "driver exit code" `Quick test_driver_exit_code;
+        ] );
+    ]
