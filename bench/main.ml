@@ -62,10 +62,11 @@ let contended_domains () =
 
 let bench_pick name make_sched =
   let sched = make_sched (contended_domains ()) in
+  let exclude = Scheduler.Mask.create () in
   Test.make ~name
     (Staged.stage (fun () ->
          match
-           sched.Scheduler.pick ~now:Sim_time.zero ~remaining:(Sim_time.of_ms 1) ~exclude:[]
+           sched.Scheduler.pick ~now:Sim_time.zero ~remaining:(Sim_time.of_ms 1) ~exclude
          with
          | Some { Scheduler.domain; _ } ->
              sched.Scheduler.charge ~domain ~now:Sim_time.zero ~used:(Sim_time.of_us 10)

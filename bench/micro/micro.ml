@@ -1,0 +1,284 @@
+(* Per-subsystem microbenchmarks with an allocation meter, plus the
+   manifest regression gate.
+
+   [micro run] measures each hot path in a tight loop and reports ns/op and
+   words/op (from [Gc.allocated_bytes] deltas).  The dispatch-tick and
+   sample-tick paths are engineered to allocate nothing in steady state;
+   [--check] turns that property into an exit code so CI can gate on it.
+
+   [micro compare OLD.json NEW.json] diffs two [BENCH_*.json] manifests
+   (schema /1 or /2) through {!Runner.Manifest} and exits non-zero when any
+   per-experiment or total metric regressed beyond the tolerance.
+
+   Measurements are wall-clock and machine-dependent; only the words/op
+   figures (and the compare gate's generous tolerance) are meant to be
+   stable across hosts. *)
+
+module Domain = Hypervisor.Domain
+module Scheduler = Hypervisor.Scheduler
+module Host = Hypervisor.Host
+module Smp_host = Hypervisor.Smp_host
+module Processor = Cpu_model.Processor
+module Sim_time = Sim_engine.Sim_time
+module Simulator = Sim_engine.Simulator
+module Series = Sim_engine.Series
+
+type result = { name : string; ops : int; ns_per_op : float; words_per_op : float }
+
+let word_bytes = float_of_int (Sys.word_size / 8)
+
+(* Warm up, optionally reset (drop warm-up samples while keeping grown
+   storage), then measure a tight loop.  The timer is read outside the
+   allocation window so its boxes are not billed to [f]; the meter's own
+   constant overhead (a few words) is amortised over [ops]. *)
+let measure ~name ~ops ?(warmup = 0) ?reset f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  (match reset with Some r -> r () | None -> ());
+  Gc.minor ();
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.allocated_bytes () in
+  for _ = 1 to ops do
+    f ()
+  done;
+  let a1 = Gc.allocated_bytes () in
+  let t1 = Unix.gettimeofday () in
+  {
+    name;
+    ops;
+    ns_per_op = (t1 -. t0) *. 1e9 /. float_of_int ops;
+    words_per_op = (a1 -. a0) /. word_bytes /. float_of_int ops;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures *)
+
+(* Uncapped (credit 0) domains stay eligible without the 30 ms accounting
+   refill, so a bench driving [dispatch_tick] directly — outside the event
+   queue, where on_account_period never fires — keeps dispatching real work
+   on every measured tick instead of decaying to idle picks. *)
+let busy_domains () =
+  [
+    Domain.create ~is_dom0:true ~name:"dom0" ~credit_pct:0.0 (Workloads.Workload.busy_loop ());
+    Domain.create ~name:"a" ~credit_pct:0.0 (Workloads.Workload.busy_loop ());
+    Domain.create ~name:"b" ~credit_pct:0.0 (Workloads.Workload.busy_loop ());
+  ]
+
+let contended_domains () =
+  [
+    Domain.create ~is_dom0:true ~name:"dom0" ~credit_pct:10.0 (Workloads.Workload.busy_loop ());
+    Domain.create ~name:"a" ~credit_pct:20.0 (Workloads.Workload.busy_loop ());
+    Domain.create ~name:"b" ~credit_pct:70.0 (Workloads.Workload.busy_loop ());
+  ]
+
+let bench_queue_push_pop () =
+  measure ~name:"queue/push-pop-1k" ~ops:300 ~warmup:20 (fun () ->
+      let sim = Simulator.create () in
+      for i = 0 to 999 do
+        ignore (Simulator.at sim (Sim_time.of_us ((i * 7919) mod 65536)) (fun () -> ()))
+      done;
+      Simulator.run sim)
+
+let bench_queue_cancel_compact () =
+  let handles = Array.make 1000 None in
+  measure ~name:"queue/cancel-compact-1k" ~ops:300 ~warmup:20 (fun () ->
+      let sim = Simulator.create () in
+      for i = 0 to 999 do
+        handles.(i) <-
+          Some (Simulator.at sim (Sim_time.of_us ((i * 7919) mod 65536)) (fun () -> ()))
+      done;
+      (* Cancel 70% — enough to trip the cancelled>live compaction. *)
+      for i = 0 to 999 do
+        if i mod 10 < 7 then
+          match handles.(i) with Some h -> Simulator.cancel sim h | None -> ()
+      done;
+      Simulator.run sim)
+
+let bench_every_steady () =
+  let sim = Simulator.create () in
+  ignore (Simulator.every sim (Sim_time.of_ms 1) (fun () -> ()));
+  measure ~name:"sim/every-steady" ~ops:200_000 ~warmup:1_000 (fun () ->
+      ignore (Simulator.step sim))
+
+let make_host domains =
+  let sim = Simulator.create () in
+  let processor = Processor.create Cpu_model.Arch.optiplex_755 in
+  let scheduler = Sched_credit.create domains in
+  Host.create ~sim ~processor ~scheduler ()
+
+let bench_dispatch_tick () =
+  let host = make_host (busy_domains ()) in
+  measure ~name:"host/dispatch-tick" ~ops:100_000 ~warmup:1_000 (fun () ->
+      Host.Internal.dispatch_tick host ())
+
+(* Capped domains with the 30 ms accounting refill folded in — the cadence
+   a simulated host actually runs.  Informational (the refill path builds
+   quotas from floats), not part of the zero-alloc gate. *)
+let bench_dispatch_tick_capped () =
+  let host = make_host (contended_domains ()) in
+  let scheduler = Host.scheduler host in
+  let ticks = ref 0 in
+  measure ~name:"host/dispatch-tick-capped" ~ops:100_000 ~warmup:1_000 (fun () ->
+      incr ticks;
+      if !ticks mod 30 = 0 then
+        scheduler.Scheduler.on_account_period ~now:(Host.now host);
+      Host.Internal.dispatch_tick host ())
+
+let bench_sample_tick () =
+  let host = make_host (busy_domains ()) in
+  let ops = 100_000 in
+  (* The warm-up grows every series vector to [ops] capacity; the reset
+     empties them without shrinking, so the measured loop appends into
+     existing storage and the steady-state sampling path shows through. *)
+  measure ~name:"host/sample-tick" ~ops ~warmup:ops
+    ~reset:(fun () -> Host.Internal.reset_series host)
+    (fun () -> Host.Internal.sample host ())
+
+let bench_smp_dispatch_tick () =
+  let sim = Simulator.create () in
+  let smp = Cpu_model.Smp.create ~cores:2 Cpu_model.Arch.optiplex_755 in
+  let scheduler = Sched_credit.create ~host_capacity:2 (busy_domains ()) in
+  let host = Smp_host.create ~sim ~smp ~scheduler () in
+  measure ~name:"smp/dispatch-tick" ~ops:100_000 ~warmup:1_000 (fun () ->
+      Smp_host.Internal.dispatch_tick host ())
+
+let bench_frame_csv () =
+  let frame = Series.Frame.create () in
+  for j = 0 to 3 do
+    let s = Series.create ~name:(Printf.sprintf "s%d" j) in
+    for i = 0 to 511 do
+      Series.add s (Sim_time.of_us ((i * 1000) + (j * 250))) (float_of_int ((i * 13) + j))
+    done;
+    Series.Frame.add_series frame s
+  done;
+  measure ~name:"series/frame-csv-4x512" ~ops:300 ~warmup:20 (fun () ->
+      ignore (Series.Frame.to_csv frame))
+
+let all_benches =
+  [
+    bench_queue_push_pop;
+    bench_queue_cancel_compact;
+    bench_every_steady;
+    bench_dispatch_tick;
+    bench_dispatch_tick_capped;
+    bench_sample_tick;
+    bench_smp_dispatch_tick;
+    bench_frame_csv;
+  ]
+
+(* Paths whose steady state must not allocate.  words/op below the epsilon
+   is measurement noise (the meter's own constant boxes amortised over the
+   op count), not a per-op allocation. *)
+let zero_alloc_names = [ "host/dispatch-tick"; "host/sample-tick"; "smp/dispatch-tick" ]
+let zero_alloc_epsilon = 0.01
+
+let results_json results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"dvfs-microbench/1\",\n  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf buf
+        "    {\"name\": \"%s\", \"ops\": %d, \"ns_per_op\": %.1f, \"words_per_op\": %.4f}%s\n"
+        r.name r.ops r.ns_per_op r.words_per_op
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let run_benches ~out ~check =
+  if Analysis.Config.enabled () then
+    print_endline
+      "note: the invariant sanitizer is enabled (DVFS_SANITIZE); words/op includes its checks";
+  let results = List.map (fun b -> b ()) all_benches in
+  Printf.printf "%-28s %12s %12s\n" "benchmark" "ns/op" "words/op";
+  List.iter
+    (fun r -> Printf.printf "%-28s %12.1f %12.4f\n" r.name r.ns_per_op r.words_per_op)
+    results;
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (results_json results));
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if check then begin
+    let offenders =
+      List.filter
+        (fun r -> List.mem r.name zero_alloc_names && r.words_per_op > zero_alloc_epsilon)
+        results
+    in
+    if offenders <> [] then begin
+      List.iter
+        (fun r ->
+          Printf.eprintf "FAIL %s allocates %.4f words/op (limit %.4f)\n" r.name
+            r.words_per_op zero_alloc_epsilon)
+        offenders;
+      exit 1
+    end;
+    Printf.printf "zero-alloc check passed (%s)\n" (String.concat ", " zero_alloc_names)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Manifest regression gate *)
+
+let compare_manifests ~baseline_path ~current_path ~tolerance =
+  let module M = Runner.Manifest in
+  let load path =
+    try M.load path with
+    | M.Parse_error msg ->
+        Printf.eprintf "error: %s: %s\n" path msg;
+        exit 2
+    | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+  in
+  let baseline = load baseline_path and current = load current_path in
+  Printf.printf "baseline %s (%s): total %.3fs, %.1f MB alloc\n" baseline_path
+    baseline.M.schema baseline.M.total_seconds (M.total_alloc_mb baseline);
+  Printf.printf "current  %s (%s): total %.3fs, %.1f MB alloc\n" current_path
+    current.M.schema current.M.total_seconds (M.total_alloc_mb current);
+  match M.diff ~tolerance ~baseline ~current () with
+  | [] -> Printf.printf "no regression beyond %.2fx tolerance\n" tolerance
+  | regressions ->
+      List.iter
+        (fun r -> Format.printf "REGRESSION %a@." M.pp_regression r)
+        regressions;
+      Printf.eprintf "%d metric(s) regressed beyond %.2fx tolerance\n"
+        (List.length regressions) tolerance;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* CLI *)
+
+let usage () =
+  prerr_endline
+    "usage: micro run [--out FILE] [--check]\n\
+    \       micro compare BASELINE.json CURRENT.json [--tolerance T]";
+  exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "run" :: rest ->
+      let rec parse out check = function
+        | [] -> run_benches ~out ~check
+        | "--out" :: path :: rest -> parse (Some path) check rest
+        | "--check" :: rest -> parse out true rest
+        | _ -> usage ()
+      in
+      parse None false rest
+  | _ :: "compare" :: baseline_path :: current_path :: rest ->
+      let tolerance =
+        match rest with
+        | [] -> 1.5
+        | [ "--tolerance"; t ] -> (
+            match float_of_string_opt t with
+            | Some f when f >= 1.0 -> f
+            | Some _ | None ->
+                prerr_endline "error: --tolerance must be a number >= 1.0";
+                exit 2)
+        | _ -> usage ()
+      in
+      compare_manifests ~baseline_path ~current_path ~tolerance
+  | _ -> usage ()

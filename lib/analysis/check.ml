@@ -1,3 +1,15 @@
+(* Non-capturing hot-path variants: [pass] takes no optional arguments and
+   allocates nothing, so a tick-rate call site can record a successful
+   evaluation without building a detail thunk; the failure branch is cold
+   and may spend freely on its message. *)
+let pass inv = if Config.enabled () then Invariant.record_check inv ~ok:true
+
+let fail inv ?(time_s = Float.nan) ?(component = "") detail =
+  if Config.enabled () then begin
+    Invariant.record_check inv ~ok:false;
+    Config.record (Violation.make ~invariant:(Invariant.name inv) ~component ~time_s ~detail)
+  end
+
 let run inv ?(time_s = Float.nan) ?(component = "") ?detail ok =
   if Config.enabled () then begin
     Invariant.record_check inv ~ok;

@@ -6,6 +6,16 @@
     with [Analysis.enabled ()] to keep the disabled cost at one boolean
     load. *)
 
+val pass : Invariant.t -> unit
+(** Record a successful evaluation.  No optional arguments and no detail
+    thunk, so the call allocates nothing — the variant for per-tick hot
+    paths.  A no-op while the sanitizer is disabled. *)
+
+val fail : Invariant.t -> ?time_s:float -> ?component:string -> string -> unit
+(** Record a failed evaluation with an already-built detail message and hand
+    the violation to the configured policy.  The counterpart of {!pass} for
+    the (cold) failure branch, which may allocate freely. *)
+
 val run :
   Invariant.t ->
   ?time_s:float ->

@@ -33,6 +33,10 @@ module Meter : sig
   (** Accumulates [watts * dt] for an interval during which frequency and
       utilization were constant. *)
 
+  val record_busy : t -> dt:Sim_time.t -> busy:Sim_time.t -> freq:Frequency.mhz -> unit
+  (** {!record} with [util = busy / dt] computed inside the meter, keeping
+      the per-tick float intermediates unboxed. *)
+
   val joules : t -> float
   val elapsed : t -> Sim_time.t
   val mean_watts : t -> float

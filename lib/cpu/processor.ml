@@ -1,29 +1,64 @@
-type t = { arch : Arch.t; cpufreq : Cpufreq.t; meter : Power.Meter.t }
+(* [cached_ratio]/[cached_cf]/[cached_speed] are derived from the current
+   frequency and refreshed on every [set_freq].  Caching them as mutable
+   fields of this mixed record means each float is boxed once per frequency
+   change; the dispatch hot path then reads the shared box by pointer
+   instead of recomputing (and re-boxing) the performance law every tick. *)
+type t = {
+  arch : Arch.t;
+  cpufreq : Cpufreq.t;
+  meter : Power.Meter.t;
+  mutable cached_ratio : float;
+  mutable cached_cf : float;
+  mutable cached_speed : float;
+}
+
+let freq_table t = t.arch.Arch.freq_table
+let current_freq t = Cpufreq.current t.cpufreq
+let ratio_at t f = Frequency.ratio (freq_table t) f
+let cf_at t f = Calibration.cf t.arch.Arch.calibration (freq_table t) f
+let speed_at t f = ratio_at t f *. cf_at t f
+
+let refresh_caches t =
+  let f = current_freq t in
+  t.cached_ratio <- ratio_at t f;
+  t.cached_cf <- cf_at t f;
+  t.cached_speed <- speed_at t f
 
 let create ?init_freq arch =
   let table = arch.Arch.freq_table in
   let init = match init_freq with Some f -> f | None -> Frequency.max_freq table in
-  {
-    arch;
-    cpufreq = Cpufreq.create ~freq_table:table ~init;
-    meter = Power.Meter.create (Power.of_arch arch) table;
-  }
+  let t =
+    {
+      arch;
+      cpufreq = Cpufreq.create ~freq_table:table ~init;
+      meter = Power.Meter.create (Power.of_arch arch) table;
+      cached_ratio = 0.0;
+      cached_cf = 0.0;
+      cached_speed = 0.0;
+    }
+  in
+  refresh_caches t;
+  t
 
 let arch t = t.arch
-let freq_table t = t.arch.Arch.freq_table
 let cpufreq t = t.cpufreq
-let current_freq t = Cpufreq.current t.cpufreq
-let set_freq t ~now f = Cpufreq.set t.cpufreq ~now f
-let ratio_at t f = Frequency.ratio (freq_table t) f
-let cf_at t f = Calibration.cf t.arch.Arch.calibration (freq_table t) f
-let ratio t = ratio_at t (current_freq t)
-let cf t = cf_at t (current_freq t)
-let speed_at t f = ratio_at t f *. cf_at t f
-let speed t = speed_at t (current_freq t)
+
+(* [Cpufreq.set] clamps the request to the table, so the caches must be
+   rebuilt from the read-back frequency, never from the argument. *)
+let set_freq t ~now f =
+  Cpufreq.set t.cpufreq ~now f;
+  refresh_caches t
+
+let ratio t = t.cached_ratio
+let cf t = t.cached_cf
+let speed t = t.cached_speed
 let work_in t dt = speed t *. Sim_time.to_sec dt
 
 let record_power t ~dt ~util =
   Power.Meter.record t.meter ~dt ~freq:(current_freq t) ~util
+
+let record_busy t ~dt ~busy =
+  Power.Meter.record_busy t.meter ~dt ~busy ~freq:(current_freq t)
 
 let energy_joules t = Power.Meter.joules t.meter
 let mean_watts t = Power.Meter.mean_watts t.meter

@@ -39,5 +39,9 @@ val work_in : t -> Sim_time.t -> float
 val record_power : t -> dt:Sim_time.t -> util:float -> unit
 (** Accounts energy for an interval at the current frequency. *)
 
+val record_busy : t -> dt:Sim_time.t -> busy:Sim_time.t -> unit
+(** [record_power] with the utilization derived as [busy / dt] inside the
+    meter, so the per-tick accounting path passes no freshly boxed float. *)
+
 val energy_joules : t -> float
 val mean_watts : t -> float

@@ -1,34 +1,56 @@
 type policy = Per_core | Per_package
 
+(* One per frequency domain.  The record is deliberately mixed (the int
+   index keeps it out of the flat-float layout) so [speed] is boxed once
+   per frequency change and every per-tick read shares that box. *)
+type dom_cache = { index : int; mutable speed : float }
+
+(* The running energy total lives in an all-float sub-record so the
+   periodic accumulation stores into a flat float block. *)
+type energy_acc = { mutable joules : float }
+
 type t = {
   arch : Arch.t;
   cores : int;
   policy : policy;
   domains : Cpufreq.t array; (* one per frequency domain *)
+  caches : dom_cache array; (* effective speed per frequency domain *)
   power : Power.model;
-  mutable joules : float;
+  acc : energy_acc;
   mutable elapsed : Sim_time.t;
 }
+
+let freq_table t = t.arch.Arch.freq_table
+
+let refresh_cache t cache =
+  let f = Cpufreq.current t.domains.(cache.index) in
+  cache.speed <- Calibration.effective_speed t.arch.Arch.calibration (freq_table t) f
 
 let create ?(policy = Per_package) ?init_freq ~cores arch =
   if cores < 1 then invalid_arg "Smp.create: cores must be >= 1";
   let table = arch.Arch.freq_table in
   let init = match init_freq with Some f -> f | None -> Frequency.max_freq table in
   let ndomains = match policy with Per_package -> 1 | Per_core -> cores in
-  {
-    arch;
-    cores;
-    policy;
-    domains = Array.init ndomains (fun _ -> Cpufreq.create ~freq_table:table ~init);
-    power = Power.of_arch arch;
-    joules = 0.0;
-    elapsed = Sim_time.zero;
-  }
+  let t =
+    {
+      arch;
+      cores;
+      policy;
+      domains = Array.init ndomains (fun _ -> Cpufreq.create ~freq_table:table ~init);
+      caches = Array.init ndomains (fun index -> { index; speed = 0.0 });
+      power = Power.of_arch arch;
+      acc = { joules = 0.0 };
+      elapsed = Sim_time.zero;
+    }
+  in
+  for domain = 0 to ndomains - 1 do
+    refresh_cache t t.caches.(domain)
+  done;
+  t
 
 let arch t = t.arch
 let cores t = t.cores
 let policy t = t.policy
-let freq_table t = t.arch.Arch.freq_table
 let domain_count t = Array.length t.domains
 
 let domain_of_core t core =
@@ -47,16 +69,16 @@ let current_freq t ~domain =
     invalid_arg "Smp.current_freq: domain out of range";
   Cpufreq.current t.domains.(domain)
 
+(* [Cpufreq.set] clamps the request, so the cache is rebuilt from the
+   read-back frequency. *)
 let set_freq t ~now ~domain freq =
   if domain < 0 || domain >= domain_count t then
     invalid_arg "Smp.set_freq: domain out of range";
-  Cpufreq.set t.domains.(domain) ~now freq
+  Cpufreq.set t.domains.(domain) ~now freq;
+  refresh_cache t t.caches.(domain)
 
 let freq_of_core t core = Cpufreq.current t.domains.(domain_of_core t core)
-
-let speed_of_core t core =
-  let f = freq_of_core t core in
-  Calibration.effective_speed t.arch.Arch.calibration (freq_table t) f
+let speed_of_core t core = t.caches.(domain_of_core t core).speed
 
 let total_capacity t =
   let sum = ref 0.0 in
@@ -82,26 +104,26 @@ let record_power t ~dt ~core_utils =
     (t.arch.Arch.max_watts -. t.arch.Arch.idle_watts) /. float_of_int t.cores
   in
   let watts = ref 0.0 in
-  Array.iteri
-    (fun core util ->
-      let freq = freq_of_core t core in
-      let full = Power.watts t.power table ~freq ~util in
-      let fraction =
-        if t.arch.Arch.max_watts = t.arch.Arch.idle_watts then 0.0
-        else (full -. t.arch.Arch.idle_watts) /. (t.arch.Arch.max_watts -. t.arch.Arch.idle_watts)
-      in
-      watts :=
-        !watts
-        +. (per_core_static *. Power.voltage_ratio t.power table freq)
-        +. (fraction *. per_core_range))
-    core_utils;
+  for core = 0 to t.cores - 1 do
+    let util = core_utils.(core) in
+    let freq = freq_of_core t core in
+    let full = Power.watts t.power table ~freq ~util in
+    let fraction =
+      if t.arch.Arch.max_watts = t.arch.Arch.idle_watts then 0.0
+      else (full -. t.arch.Arch.idle_watts) /. (t.arch.Arch.max_watts -. t.arch.Arch.idle_watts)
+    in
+    watts :=
+      !watts
+      +. (per_core_static *. Power.voltage_ratio t.power table freq)
+      +. (fraction *. per_core_range)
+  done;
   let watts = !watts in
-  t.joules <- t.joules +. (watts *. Sim_time.to_sec dt);
+  t.acc.joules <- t.acc.joules +. (watts *. Sim_time.to_sec dt);
   t.elapsed <- Sim_time.add t.elapsed dt
 
-let energy_joules t = t.joules
+let energy_joules t = t.acc.joules
 
 let mean_watts t =
   let secs = Sim_time.to_sec t.elapsed in
   if secs = 0.0 (* lint:ignore float-eq: exact zero guards the division *) then 0.0
-  else t.joules /. secs
+  else t.acc.joules /. secs

@@ -1,0 +1,49 @@
+(** Bucketed calendar queue (timing wheel with an overflow heap).
+
+    A priority queue specialised for the event-queue workload: most pending
+    events are short-period recurring timers, so their keys cluster tightly
+    around the current minimum.  Keys within a sliding window of
+    [256 * 1024] key units (≈ 262 ms at one unit per microsecond) land in a
+    256-slot wheel of small binary heaps; keys beyond the window wait in a
+    single overflow heap and migrate into the wheel as the window advances.
+    For the dominant 1 ms-period timers every operation touches one or two
+    buckets, and nothing on the push/pop path allocates once the bucket
+    arrays have reached steady-state capacity.
+
+    Ordering is given entirely by [cmp]; [key] must be a non-negative
+    integer projection consistent with [cmp]'s most significant component
+    (two elements with different keys must compare in key order).  Elements
+    with equal keys are ordered by [cmp], so a (time, seq) total order is
+    preserved exactly as with a single binary heap. *)
+
+type 'a t
+
+val create : key:('a -> int) -> cmp:('a -> 'a -> int) -> 'a t
+(** Fresh empty queue.  [key] must return a non-negative int and agree with
+    [cmp] as described above. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Insert an element.  Keys may be arbitrarily far in the future (they go
+    to the overflow heap) but must not precede the smallest key ever
+    popped by more than the window span; the queue clamps such stragglers
+    into the current bucket, which keeps ordering correct because buckets
+    are themselves heaps ordered by [cmp]. *)
+
+val next_key : 'a t -> int
+(** Key of the minimum element, or [max_int] when empty; allocation-free.
+    May advance the internal window cursor (an optimisation, not a
+    semantic change). *)
+
+val pop_exn : 'a t -> 'a
+(** Remove and return the minimum element; allocation-free in steady
+    state.  @raise Invalid_argument when empty. *)
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Keep only elements satisfying the predicate; O(n).  Used to compact
+    cancelled events out of the queue. *)
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order; does not modify the queue. *)

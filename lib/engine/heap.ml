@@ -44,22 +44,23 @@ let push h x =
 
 let peek h = if h.size = 0 then None else Some h.data.(0)
 
-let pop h =
-  if h.size = 0 then None
-  else begin
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      sift_down h 0
-    end;
-    Some top
-  end
+let top_exn h =
+  if h.size = 0 then invalid_arg "Heap.top_exn: empty heap";
+  h.data.(0)
 
+(* The event queue pops once per simulated event, so this path must not
+   allocate: [pop] wraps it in an option for callers that prefer one. *)
 let pop_exn h =
-  match pop h with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+  if h.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    sift_down h 0
+  end;
+  top
+
+let pop h = if h.size = 0 then None else Some (pop_exn h)
 
 let clear h =
   h.data <- [||];

@@ -17,6 +17,10 @@ val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
 (** Smallest element without removing it. *)
 
+val top_exn : 'a t -> 'a
+(** Smallest element without removing it; allocation-free.
+    @raise Invalid_argument on an empty heap. *)
+
 val pop : 'a t -> 'a option
 (** Removes and returns the smallest element. *)
 

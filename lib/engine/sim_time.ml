@@ -14,8 +14,8 @@ let of_sec_f s =
   int_of_float (Float.round (s *. 1e6))
 
 let to_us t = t
-let to_ms t = float_of_int t /. 1e3
-let to_sec t = float_of_int t /. 1e6
+let[@inline] to_ms t = float_of_int t /. 1e3
+let[@inline] to_sec t = float_of_int t /. 1e6
 let add a b = a + b
 
 let sub a b =

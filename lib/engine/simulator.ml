@@ -3,7 +3,7 @@ type event = {
   mutable seq : int;
   mutable action : unit -> unit;
   mutable cancelled : bool;
-  mutable queued : bool; (* currently sitting in the heap *)
+  mutable queued : bool; (* currently sitting in the queue *)
 }
 
 type handle = event
@@ -11,8 +11,8 @@ type handle = event
 type t = {
   mutable clock : Sim_time.t;
   mutable next_seq : int;
-  queue : event Heap.t;
-  mutable dead : int; (* cancelled events still occupying heap slots *)
+  queue : event Calendar.t;
+  mutable dead : int; (* cancelled events still occupying queue slots *)
 }
 
 let inv_monotonic =
@@ -23,8 +23,15 @@ let cmp_event a b =
   let c = Sim_time.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
+let event_key ev = Sim_time.to_us ev.time
+
 let create () =
-  { clock = Sim_time.zero; next_seq = 0; queue = Heap.create ~cmp:cmp_event; dead = 0 }
+  {
+    clock = Sim_time.zero;
+    next_seq = 0;
+    queue = Calendar.create ~key:event_key ~cmp:cmp_event;
+    dead = 0;
+  }
 
 let now t = t.clock
 
@@ -36,7 +43,7 @@ let fresh_seq t =
 let at t time action =
   if Sim_time.compare time t.clock < 0 then invalid_arg "Simulator.at: time is in the past";
   let ev = { time; seq = fresh_seq t; action; cancelled = false; queued = true } in
-  Heap.push t.queue ev;
+  Calendar.push t.queue ev;
   ev
 
 let after t delay action = at t (Sim_time.add t.clock delay) action
@@ -47,7 +54,8 @@ let every t ?start period action =
   if Sim_time.compare start t.clock < 0 then invalid_arg "Simulator.every: start is in the past";
   let cell = { time = start; seq = fresh_seq t; action = ignore; cancelled = false; queued = true } in
   (* One record is re-armed for every firing so a single handle controls the
-     whole periodic chain. *)
+     whole periodic chain.  The closure is allocated once here; the re-arm
+     itself only mutates the cell and re-pushes it. *)
   cell.action <-
     (fun () ->
       action ();
@@ -55,16 +63,16 @@ let every t ?start period action =
         cell.time <- Sim_time.add t.clock period;
         cell.seq <- fresh_seq t;
         cell.queued <- true;
-        Heap.push t.queue cell
+        Calendar.push t.queue cell
       end);
-  Heap.push t.queue cell;
+  Calendar.push t.queue cell;
   cell
 
-(* Rebuild the heap without its cancelled entries once they dominate; keeps
+(* Rebuild the queue without its cancelled entries once they dominate; keeps
    [pending] exact and stops long-lived simulations from dragging a tail of
-   dead events through every sift. *)
+   dead events through every pop. *)
 let compact t =
-  Heap.filter_in_place t.queue (fun ev ->
+  Calendar.filter_in_place t.queue (fun ev ->
       if ev.cancelled then begin
         ev.queued <- false;
         false
@@ -77,40 +85,41 @@ let cancel t handle =
     handle.cancelled <- true;
     if handle.queued then begin
       t.dead <- t.dead + 1;
-      if t.dead > 64 && 2 * t.dead > Heap.length t.queue then compact t
+      if t.dead > 64 && 2 * t.dead > Calendar.length t.queue then compact t
     end
   end
 
-let pending t = Heap.length t.queue - t.dead
+let pending t = Calendar.length t.queue - t.dead
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-      ev.queued <- false;
-      if ev.cancelled then begin
-        t.dead <- t.dead - 1;
-        true
-      end
-      else begin
-        if Analysis.Config.enabled () then
-          Analysis.Check.run inv_monotonic ~time_s:(Sim_time.to_sec t.clock)
-            ~component:"simulator"
-            ~detail:(fun () ->
-              Printf.sprintf "event scheduled at %s popped with clock at %s"
-                (Sim_time.to_string ev.time) (Sim_time.to_string t.clock))
-            (Sim_time.compare ev.time t.clock >= 0);
-        t.clock <- Sim_time.max t.clock ev.time;
-        ev.action ();
-        true
-      end
+  if Calendar.is_empty t.queue then false
+  else begin
+    let ev = Calendar.pop_exn t.queue in
+    ev.queued <- false;
+    if ev.cancelled then begin
+      t.dead <- t.dead - 1;
+      true
+    end
+    else begin
+      if Analysis.Config.enabled () then
+        Analysis.Check.run inv_monotonic ~time_s:(Sim_time.to_sec t.clock)
+          ~component:"simulator"
+          ~detail:(fun () ->
+            Printf.sprintf "event scheduled at %s popped with clock at %s"
+              (Sim_time.to_string ev.time) (Sim_time.to_string t.clock))
+          (Sim_time.compare ev.time t.clock >= 0);
+      t.clock <- Sim_time.max t.clock ev.time;
+      ev.action ();
+      true
+    end
+  end
 
 let run_until t t_end =
-  let continue = ref true in
-  while !continue do
-    match Heap.peek t.queue with
-    | Some ev when Sim_time.compare ev.time t_end <= 0 -> ignore (step t)
-    | Some _ | None -> continue := false
+  (* [next_key] is [max_int] on an empty queue, so the comparison doubles as
+     the emptiness test; nothing in this loop allocates. *)
+  let t_end_key = Sim_time.to_us t_end in
+  while Calendar.next_key t.queue <= t_end_key do
+    ignore (step t)
   done;
   t.clock <- Sim_time.max t.clock t_end
 

@@ -3,49 +3,58 @@ let inv_finite =
     ~doc:"no NaN or infinity enters a running-statistics accumulator"
 
 module Running = struct
-  type t = {
-    mutable n : int;
-    mutable mean : float;
-    mutable m2 : float;
-    mutable mn : float;
-    mutable mx : float;
-  }
+  (* The float moments live in an all-float sub-record so every [add]
+     stores into a flat float block (a mixed record would box each store).
+     The sample count stays an int alongside it: first-sample detection by
+     [n = 1] is exact where a NaN sentinel would not be. *)
+  type acc = { mutable mean : float; mutable m2 : float; mutable mn : float; mutable mx : float }
+  type t = { mutable n : int; acc : acc }
 
-  let create () = { n = 0; mean = 0.0; m2 = 0.0; mn = nan; mx = nan }
+  let create () = { n = 0; acc = { mean = 0.0; m2 = 0.0; mn = nan; mx = nan } }
 
   let add t x =
     if Analysis.Config.enabled () then
       Analysis.Check.finite inv_finite ~component:"stats.running" ~what:"sample" x;
     t.n <- t.n + 1;
-    let delta = x -. t.mean in
-    t.mean <- t.mean +. (delta /. float_of_int t.n);
-    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    let a = t.acc in
+    let delta = x -. a.mean in
+    a.mean <- a.mean +. (delta /. float_of_int t.n);
+    a.m2 <- a.m2 +. (delta *. (x -. a.mean));
     if t.n = 1 then begin
-      t.mn <- x;
-      t.mx <- x
+      a.mn <- x;
+      a.mx <- x
     end
     else begin
-      if x < t.mn then t.mn <- x;
-      if x > t.mx then t.mx <- x
+      if x < a.mn then a.mn <- x;
+      if x > a.mx then a.mx <- x
     end
 
   let count t = t.n
-  let mean t = if t.n = 0 then 0.0 else t.mean
-  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let mean t = if t.n = 0 then 0.0 else t.acc.mean
+  let variance t = if t.n < 2 then 0.0 else t.acc.m2 /. float_of_int (t.n - 1)
   let stddev t = sqrt (variance t)
-  let min t = t.mn
-  let max t = t.mx
+  let min t = t.acc.mn
+  let max t = t.acc.mx
+
+  let copy t =
+    {
+      n = t.n;
+      acc = { mean = t.acc.mean; m2 = t.acc.m2; mn = t.acc.mn; mx = t.acc.mx };
+    }
 
   let merge a b =
-    if a.n = 0 then { b with n = b.n }
-    else if b.n = 0 then { a with n = a.n }
+    if a.n = 0 then copy b
+    else if b.n = 0 then copy a
     else begin
       let n = a.n + b.n in
-      let delta = b.mean -. a.mean in
+      let delta = b.acc.mean -. a.acc.mean in
       let fa = float_of_int a.n and fb = float_of_int b.n and fn = float_of_int (a.n + b.n) in
-      let mean = a.mean +. (delta *. fb /. fn) in
-      let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn) in
-      { n; mean; m2; mn = Stdlib.min a.mn b.mn; mx = Stdlib.max a.mx b.mx }
+      let mean = a.acc.mean +. (delta *. fb /. fn) in
+      let m2 = a.acc.m2 +. b.acc.m2 +. (delta *. delta *. fa *. fb /. fn) in
+      {
+        n;
+        acc = { mean; m2; mn = Stdlib.min a.acc.mn b.acc.mn; mx = Stdlib.max a.acc.mx b.acc.mx };
+      }
     end
 end
 

@@ -14,20 +14,25 @@ let set v i x =
   check v i;
   v.data.(i) <- x
 
-let push v x =
+(* Growth is hoisted out of [push] so the common append inlines to a
+   bounds test and a store. *)
+let[@inline never] grow v x =
   let cap = Array.length v.data in
-  if v.size = cap then begin
-    let ncap = if cap = 0 then 16 else cap * 2 in
-    let ndata = Array.make ncap x in
-    Array.blit v.data 0 ndata 0 v.size;
-    v.data <- ndata
-  end;
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let ndata = Array.make ncap x in
+  Array.blit v.data 0 ndata 0 v.size;
+  v.data <- ndata
+
+let[@inline] push v x =
+  if v.size = Array.length v.data then grow v x;
   v.data.(v.size) <- x;
   v.size <- v.size + 1
 
 let clear v =
   v.data <- [||];
   v.size <- 0
+
+let reset v = v.size <- 0
 
 let to_array v = Array.sub v.data 0 v.size
 
@@ -65,20 +70,38 @@ module Floats = struct
     if i < 0 || i >= v.size then invalid_arg "Vec.Floats: index out of bounds";
     v.data.(i)
 
-  let push v x =
+  let[@inline never] grow v =
     let cap = Array.length v.data in
-    if v.size = cap then begin
-      let ncap = if cap = 0 then 16 else cap * 2 in
-      let ndata = Array.make ncap 0.0 in
-      Array.blit v.data 0 ndata 0 v.size;
-      v.data <- ndata
-    end;
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ndata = Array.make ncap 0.0 in
+    Array.blit v.data 0 ndata 0 v.size;
+    v.data <- ndata
+
+  let[@inline] push v x =
+    if v.size = Array.length v.data then grow v;
     v.data.(v.size) <- x;
+    v.size <- v.size + 1
+
+  type cell = { mutable value : float }
+
+  let cell () = { value = 0.0 }
+
+  (* Appends [c.value] without a float crossing a call boundary: the cell
+     is a flat one-float record, so the caller's store into it and the copy
+     into [data] here are both raw float moves.  This keeps the recording
+     path allocation-free even when cross-module inlining is off (dev
+     builds compile with -opaque), where [push]'s float argument would be
+     boxed by the caller. *)
+  let push_cell v (c : cell) =
+    if v.size = Array.length v.data then grow v;
+    v.data.(v.size) <- c.value;
     v.size <- v.size + 1
 
   let clear v =
     v.data <- [||];
     v.size <- 0
+
+  let reset v = v.size <- 0
 
   let to_array v = Array.sub v.data 0 v.size
 

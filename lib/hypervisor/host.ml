@@ -35,7 +35,12 @@ type t = {
   freq_series : Series.t;
   global_series : Series.t;
   absolute_series : Series.t;
-  domain_metrics : domain_metrics list;
+  domain_metrics : domain_metrics array;
+  doms : Domain.t array; (* the scheduler's domain set, cached at creation *)
+  exclude : Scheduler.Mask.t; (* scratch exclusion set reused every tick *)
+  scratch : Series.cell; (* box-free sample hand-off, reused every sample *)
+  mutable probe_last_busy : Sim_time.t; (* shared window/governor probe state *)
+  mutable probe_last_time : Sim_time.t;
 }
 
 let sim t = t.sim
@@ -46,6 +51,12 @@ let domains t = t.scheduler.Scheduler.domains ()
 let now t = Simulator.now t.sim
 let total_busy t = t.total_busy
 
+(* Local copy of [Sim_time.to_sec]'s expression ([to_us] is the identity on
+   the int representation, so the result is bit-identical).  The
+   cross-library call would return a freshly boxed float on every tick when
+   cross-module inlining is off (dev builds compile with -opaque). *)
+let[@inline always] sec_of time = float_of_int (Sim_time.to_us time) /. 1e6
+
 let utilization_probe t =
   let last_busy = ref t.total_busy and last_time = ref (now t) in
   fun () ->
@@ -54,77 +65,121 @@ let utilization_probe t =
     last_busy := t.total_busy;
     last_time := now t;
     if Sim_time.equal elapsed Sim_time.zero then 0.0
-    else Sim_time.to_sec busy /. Sim_time.to_sec elapsed
+    else sec_of busy /. sec_of elapsed
 
-(* One dispatch tick: advance workloads, then hand out the tick to domains
-   as the scheduler directs.  A domain that consumes less than it is offered
-   has drained its demand and is excluded for the rest of the tick (also the
-   safety net against zero-length-progress livelock). *)
-let dispatch_tick t () =
-  let current = now t in
-  let quantum = t.config.quantum in
-  let speed = Processor.speed t.processor in
-  List.iter
-    (fun d -> Workloads.Workload.advance (Domain.workload d) ~now:current ~dt:quantum)
-    (domains t);
-  let remaining = ref quantum in
-  let busy = ref Sim_time.zero in
-  let exclude = ref [] in
-  let continue = ref true in
-  while !continue && Sim_time.compare !remaining Sim_time.zero > 0 do
-    match t.scheduler.Scheduler.pick ~now:current ~remaining:!remaining ~exclude:!exclude with
-    | None -> continue := false
-    | Some { Scheduler.domain; max_slice } ->
-        let offered = Sim_time.min max_slice !remaining in
-        if Sim_time.equal offered Sim_time.zero then exclude := domain :: !exclude
+(* The built-in window/governor probe: same sampling rule as
+   {!utilization_probe}, but the cursor lives in the host record, so arming
+   the periodic observers allocates no ref cells and the per-window call
+   touches no closure environment. *)
+let probe_window t =
+  let busy = Sim_time.diff t.total_busy t.probe_last_busy in
+  let elapsed = Sim_time.diff (now t) t.probe_last_time in
+  t.probe_last_busy <- t.total_busy;
+  t.probe_last_time <- now t;
+  if Sim_time.equal elapsed Sim_time.zero then 0.0
+  else sec_of busy /. sec_of elapsed
+
+(* The pick/execute/charge loop of one dispatch tick, written as a
+   module-level tail recursion over immediate ints so the per-tick hot path
+   allocates nothing: the scheduler returns a reused slice cell, exclusions
+   go through the scratch mask, and [speed] is the processor's cached boxed
+   float passed by pointer. *)
+let rec tick_loop t ~current ~speed ~remaining ~busy =
+  if Sim_time.compare remaining Sim_time.zero <= 0 then busy
+  else
+    match t.scheduler.Scheduler.pick ~now:current ~remaining ~exclude:t.exclude with
+    | None -> busy
+    | Some slice ->
+        let domain = slice.Scheduler.domain in
+        let offered = Sim_time.min slice.Scheduler.max_slice remaining in
+        if Sim_time.equal offered Sim_time.zero then begin
+          Scheduler.Mask.add t.exclude domain;
+          tick_loop t ~current ~speed ~remaining ~busy
+        end
         else begin
           let used =
             Workloads.Workload.execute (Domain.workload domain) ~now:current
               ~cpu_time:offered ~speed
           in
+          (* A domain that consumes less than it is offered has drained its
+             demand and sits out the rest of the tick (also the safety net
+             against zero-length-progress livelock). *)
+          if Sim_time.compare used offered < 0 then Scheduler.Mask.add t.exclude domain;
           if Sim_time.compare used Sim_time.zero > 0 then begin
             t.scheduler.Scheduler.charge ~domain ~now:current ~used;
             Domain.charge domain used;
-            busy := Sim_time.add !busy used;
-            remaining := Sim_time.sub !remaining used
-          end;
-          if Sim_time.compare used offered < 0 then exclude := domain :: !exclude
+            tick_loop t ~current ~speed
+              ~remaining:(Sim_time.sub remaining used)
+              ~busy:(Sim_time.add busy used)
+          end
+          else tick_loop t ~current ~speed ~remaining ~busy
         end
-  done;
-  t.total_busy <- Sim_time.add t.total_busy !busy;
-  let util = Sim_time.to_sec !busy /. Sim_time.to_sec quantum in
-  if Analysis.Config.enabled () then
-    Analysis.Check.within inv_tick_util ~time_s:(Sim_time.to_sec current) ~component:"host"
-      ~what:"tick utilization" ~lo:0.0 ~hi:1.0 util;
-  Processor.record_power t.processor ~dt:quantum ~util
 
+(* One dispatch tick: advance workloads, then hand out the tick to domains
+   as the scheduler directs. *)
+let dispatch_tick t () =
+  let current = now t in
+  let quantum = t.config.quantum in
+  let speed = Processor.speed t.processor in
+  for i = 0 to Array.length t.doms - 1 do
+    Workloads.Workload.advance (Domain.workload t.doms.(i)) ~now:current ~dt:quantum
+  done;
+  Scheduler.Mask.clear t.exclude;
+  let busy = tick_loop t ~current ~speed ~remaining:quantum ~busy:Sim_time.zero in
+  t.total_busy <- Sim_time.add t.total_busy busy;
+  if Analysis.Config.enabled () then begin
+    let util = sec_of busy /. sec_of quantum in
+    if Float.is_finite util && util >= 0.0 && util <= 1.0 then
+      Analysis.Check.pass inv_tick_util
+    else
+      Analysis.Check.fail inv_tick_util ~time_s:(Sim_time.to_sec current) ~component:"host"
+        (Printf.sprintf "tick utilization = %.9g outside [0, 1]" util)
+  end;
+  Processor.record_busy t.processor ~dt:quantum ~busy
+
+(* Samples travel through the host's scratch cell ({!Series.add_cell}):
+   each freshly computed float is stored into the flat cell and copied into
+   the series' float vector without ever being a call argument, so the
+   sampling tick allocates nothing in steady state. *)
 let sample t () =
   let current = now t in
-  let dt = Sim_time.to_sec t.config.sample_period in
+  let dt = sec_of t.config.sample_period in
   let ratio = Processor.ratio t.processor and cf = Processor.cf t.processor in
+  let cell = t.scratch in
   let global = ref 0.0 in
-  List.iter
-    (fun m ->
-      let used = Sim_time.diff (Domain.cpu_time m.domain) m.last_cpu_time in
-      m.last_cpu_time <- Domain.cpu_time m.domain;
-      let load_pct = Sim_time.to_sec used /. dt *. 100.0 in
-      global := !global +. load_pct;
-      Series.add m.load current load_pct;
-      Series.add m.absolute current (load_pct *. ratio *. cf))
-    t.domain_metrics;
+  for i = 0 to Array.length t.domain_metrics - 1 do
+    let m = t.domain_metrics.(i) in
+    let used = Sim_time.diff (Domain.cpu_time m.domain) m.last_cpu_time in
+    m.last_cpu_time <- Domain.cpu_time m.domain;
+    let load_pct = sec_of used /. dt *. 100.0 in
+    global := !global +. load_pct;
+    cell.Series.value <- load_pct;
+    Series.add_cell m.load current cell;
+    cell.Series.value <- load_pct *. ratio *. cf;
+    Series.add_cell m.absolute current cell
+  done;
   let freq = Processor.current_freq t.processor in
-  (match (t.trace, Series.last_value t.freq_series) with
-  | Some tr, Some prev when int_of_float prev <> freq ->
-      Trace.recordf tr ~time:current ~source:"dvfs" "frequency %d -> %d MHz"
-        (int_of_float prev) freq
-  | Some _, _ | None, _ -> ());
-  Series.add t.freq_series current (float_of_int freq);
-  Series.add t.global_series current !global;
-  Series.add t.absolute_series current (!global *. ratio *. cf)
+  (match t.trace with
+  | Some tr ->
+      let n = Series.length t.freq_series in
+      if n > 0 then begin
+        let prev = Series.nth_value t.freq_series (n - 1) in
+        if int_of_float prev <> freq then
+          Trace.recordf tr ~time:current ~source:"dvfs" "frequency %d -> %d MHz"
+            (int_of_float prev) freq
+      end
+  | None -> ());
+  cell.Series.value <- float_of_int freq;
+  Series.add_cell t.freq_series current cell;
+  cell.Series.value <- !global;
+  Series.add_cell t.global_series current cell;
+  cell.Series.value <- !global *. ratio *. cf;
+  Series.add_cell t.absolute_series current cell
 
 let create ?(config = default_config) ?trace ~sim ~processor ~scheduler ?governor () =
+  let doms = Array.of_list (scheduler.Scheduler.domains ()) in
   let domain_metrics =
-    List.map
+    Array.map
       (fun d ->
         {
           domain = d;
@@ -132,7 +187,7 @@ let create ?(config = default_config) ?trace ~sim ~processor ~scheduler ?governo
           absolute = Series.create ~name:(Domain.name d ^ ".absolute");
           last_cpu_time = Domain.cpu_time d;
         })
-      (scheduler.Scheduler.domains ())
+      doms
   in
   let t =
     {
@@ -147,6 +202,11 @@ let create ?(config = default_config) ?trace ~sim ~processor ~scheduler ?governo
       global_series = Series.create ~name:"global_load";
       absolute_series = Series.create ~name:"absolute_load";
       domain_metrics;
+      doms;
+      exclude = Scheduler.Mask.create ();
+      scratch = Series.cell ();
+      probe_last_busy = Sim_time.zero;
+      probe_last_time = Simulator.now sim;
     }
   in
   let arm handle = t.handles <- handle :: t.handles in
@@ -157,17 +217,15 @@ let create ?(config = default_config) ?trace ~sim ~processor ~scheduler ?governo
   arm (Simulator.every sim config.sample_period (sample t));
   (match scheduler.Scheduler.observe_window with
   | Some observe ->
-      let probe = utilization_probe t in
       arm
         (Simulator.every sim scheduler.Scheduler.window_period (fun () ->
-             observe ~now:(now t) ~busy_fraction:(probe ())))
+             observe ~now:(now t) ~busy_fraction:(probe_window t)))
   | None -> ());
   (match governor with
   | Some gov ->
-      let probe = utilization_probe t in
       arm
         (Simulator.every sim gov.Governors.Governor.period (fun () ->
-             gov.Governors.Governor.observe ~now:(now t) ~busy_fraction:(probe ())))
+             gov.Governors.Governor.observe ~now:(now t) ~busy_fraction:(probe_window t)))
   | None -> ());
   (match trace with
   | Some tr ->
@@ -186,18 +244,19 @@ let series_frequency t = t.freq_series
 let series_global_load t = t.global_series
 let series_absolute_load t = t.absolute_series
 
-let metrics_for t d =
-  match List.find_opt (fun m -> Domain.equal m.domain d) t.domain_metrics with
-  | Some m -> m
-  | None -> raise Not_found
+let rec metrics_index metrics d i =
+  if i >= Array.length metrics then raise Not_found
+  else if Domain.equal metrics.(i).domain d then i
+  else metrics_index metrics d (i + 1)
 
+let metrics_for t d = t.domain_metrics.(metrics_index t.domain_metrics d 0)
 let series_domain_load t d = (metrics_for t d).load
 let series_domain_absolute_load t d = (metrics_for t d).absolute
 
 let frame t =
   let frame = Series.Frame.create () in
   Series.Frame.add_series frame t.freq_series;
-  List.iter
+  Array.iter
     (fun m ->
       Series.Frame.add_series frame m.load;
       Series.Frame.add_series frame m.absolute)
@@ -208,3 +267,18 @@ let frame t =
 
 let energy_joules t = Processor.energy_joules t.processor
 let mean_watts t = Processor.mean_watts t.processor
+
+module Internal = struct
+  let dispatch_tick = dispatch_tick
+  let sample = sample
+
+  let reset_series t =
+    Series.reset t.freq_series;
+    Series.reset t.global_series;
+    Series.reset t.absolute_series;
+    Array.iter
+      (fun m ->
+        Series.reset m.load;
+        Series.reset m.absolute)
+      t.domain_metrics
+end

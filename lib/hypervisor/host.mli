@@ -80,3 +80,22 @@ val frame : t -> Series.Frame.t
 
 val energy_joules : t -> float
 val mean_watts : t -> float
+
+(** {1 Microbenchmark hooks}
+
+    Direct entry points to the host's periodic actions, so [bench/micro]
+    can drive one dispatch or sample tick in isolation (outside the event
+    queue) and measure its time and allocation.  Not for simulation logic:
+    the simulator fires these through the handles armed by {!create}. *)
+module Internal : sig
+  val dispatch_tick : t -> unit -> unit
+  (** One dispatch tick at the current simulated time. *)
+
+  val sample : t -> unit -> unit
+  (** One metric-sampling tick at the current simulated time. *)
+
+  val reset_series : t -> unit
+  (** Drops all recorded samples but keeps their storage ({!Series.reset}),
+      so a benchmark can sample in a loop without unbounded growth and
+      measure the steady state of the sampling path. *)
+end

@@ -1,9 +1,44 @@
-type slice = { domain : Domain.t; max_slice : Sim_time.t }
+module Mask = struct
+  (* One byte per domain id.  Domain ids are small sequential ints, so a
+     Bytes buffer doubles as a dense set with O(1) membership and a
+     [Bytes.fill] clear; the host reuses one mask for every dispatch tick,
+     so the hot path never allocates. *)
+  type t = { mutable bits : Bytes.t }
+
+  let create () = { bits = Bytes.make 64 '\000' }
+
+  let grow t want =
+    let cap = ref (Bytes.length t.bits) in
+    while want >= !cap do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.make !cap '\000' in
+    Bytes.blit t.bits 0 bigger 0 (Bytes.length t.bits);
+    t.bits <- bigger
+
+  let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+  let add t d =
+    let id = Domain.id d in
+    if id >= Bytes.length t.bits then grow t id;
+    Bytes.set t.bits id '\001'
+
+  let mem t d =
+    let id = Domain.id d in
+    id < Bytes.length t.bits && Bytes.get t.bits id <> '\000'
+
+  let of_list ds =
+    let t = create () in
+    List.iter (add t) ds;
+    t
+end
+
+type slice = { domain : Domain.t; mutable max_slice : Sim_time.t }
 
 type t = {
   name : string;
   domains : unit -> Domain.t list;
-  pick : now:Sim_time.t -> remaining:Sim_time.t -> exclude:Domain.t list -> slice option;
+  pick : now:Sim_time.t -> remaining:Sim_time.t -> exclude:Mask.t -> slice option;
   charge : domain:Domain.t -> now:Sim_time.t -> used:Sim_time.t -> unit;
   on_account_period : now:Sim_time.t -> unit;
   set_effective_credit : Domain.t -> float -> unit;
@@ -30,4 +65,4 @@ let make ~name ~domains ~pick ~charge ?(on_account_period = fun ~now:_ -> ())
     window_period;
   }
 
-let excluded d exclude = List.exists (Domain.equal d) exclude
+let excluded d exclude = Mask.mem exclude d

@@ -75,3 +75,19 @@ val series_domain_frequency : t -> domain:int -> Series.t
 
 val energy_joules : t -> float
 val mean_watts : t -> float
+
+(** {1 Microbenchmark hooks}
+
+    SMP analogue of {!Host.Internal}: direct entry points to the periodic
+    actions so [bench/micro] can measure one tick in isolation. *)
+module Internal : sig
+  val dispatch_tick : t -> unit -> unit
+  (** One multi-core dispatch tick at the current simulated time. *)
+
+  val sample : t -> unit -> unit
+  (** One metric-sampling tick at the current simulated time. *)
+
+  val reset_series : t -> unit
+  (** Drops all recorded samples but keeps their storage
+      ({!Series.reset}). *)
+end

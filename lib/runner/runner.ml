@@ -1,4 +1,5 @@
 module Experiment = Experiments.Experiment
+module Manifest = Manifest
 
 type status = Done | Failed of string
 
@@ -9,6 +10,8 @@ type job = {
   seconds : float;
   cpu_seconds : float;
   alloc_mb : float;
+  minor_words : float;
+  major_words : float;
   rows : int;
   rendered : string;
 }
@@ -42,12 +45,14 @@ let now () = Unix.gettimeofday ()
    take the whole worker (and its remaining share of the queue) with it. *)
 let run_job ~scale (e : Experiment.t) =
   let t0 = now () and c0 = Sys.time () and a0 = Gc.allocated_bytes () in
+  let g0 = Gc.quick_stat () in
   let status, rows, rendered =
     match Experiment.run e ~scale with
     | output ->
         (Done, Sim_engine.Table.row_count output.Experiment.summary, Experiment.print_to_string output)
     | exception exn -> (Failed (Printexc.to_string exn), 0, "")
   in
+  let g1 = Gc.quick_stat () in
   {
     id = e.Experiment.id;
     title = e.Experiment.title;
@@ -55,6 +60,8 @@ let run_job ~scale (e : Experiment.t) =
     seconds = now () -. t0;
     cpu_seconds = Sys.time () -. c0;
     alloc_mb = (Gc.allocated_bytes () -. a0) /. 1_048_576.0;
+    minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+    major_words = g1.Gc.major_words -. g0.Gc.major_words;
     rows;
     rendered;
   }
@@ -132,7 +139,7 @@ let manifest_json ?(strip_timings = false) r =
   let buf = Buffer.create 2048 in
   let time v = if strip_timings then 0.0 else v in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"dvfs-bench-manifest/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"dvfs-bench-manifest/2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"scale\": %g,\n" r.scale);
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" r.pool_size);
   Buffer.add_string buf
@@ -147,10 +154,10 @@ let manifest_json ?(strip_timings = false) r =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"id\": \"%s\", \"status\": \"%s\"%s, \"seconds\": %.3f, \"cpu_seconds\": %.3f, \
-            \"alloc_mb\": %.1f, \"rows\": %d}%s\n"
+            \"alloc_mb\": %.1f, \"minor_words\": %.0f, \"major_words\": %.0f, \"rows\": %d}%s\n"
            (json_escape j.id) status error (time j.seconds) (time j.cpu_seconds)
            (if strip_timings then 0.0 else j.alloc_mb)
-           j.rows
+           (time j.minor_words) (time j.major_words) j.rows
            (if i = List.length r.jobs - 1 then "" else ",")))
     r.jobs;
   Buffer.add_string buf "  ]\n}\n";

@@ -17,6 +17,9 @@
       from process-wide counters ([Sys.time], [Gc.allocated_bytes]) and are
       approximate when several domains run concurrently. *)
 
+module Manifest = Manifest
+(** Manifest reader + regression differ (see {!module-Manifest}). *)
+
 type status = Done | Failed of string  (** [Failed] carries [Printexc.to_string]. *)
 
 type job = {
@@ -26,6 +29,8 @@ type job = {
   seconds : float;  (** wall clock *)
   cpu_seconds : float;
   alloc_mb : float;
+  minor_words : float;  (** minor-heap words allocated ([Gc.quick_stat] delta) *)
+  major_words : float;  (** major-heap words allocated, including promotions *)
   rows : int;  (** data rows in the summary table *)
   rendered : string;  (** [Experiment.print] output; [""] when failed *)
 }
@@ -54,9 +59,10 @@ val run_all :
     @raise Invalid_argument on a non-positive [pool_size] or [scale]. *)
 
 val manifest_json : ?strip_timings:bool -> report -> string
-(** JSON manifest (schema [dvfs-bench-manifest/1]).  With
-    [~strip_timings:true] every timing/allocation field is zeroed, making
-    manifests of identical registry runs byte-comparable. *)
+(** JSON manifest (schema [dvfs-bench-manifest/2], which extends [/1] with
+    per-experiment [minor_words]/[major_words]; {!Manifest} reads both).
+    With [~strip_timings:true] every timing/allocation field is zeroed,
+    making manifests of identical registry runs byte-comparable. *)
 
 val save_manifest : ?strip_timings:bool -> report -> path:string -> unit
 

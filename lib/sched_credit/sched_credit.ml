@@ -15,6 +15,8 @@ type dom_state = {
   mutable quota : Sim_time.t; (* CPU time left this accounting period *)
   mutable was_runnable : bool; (* for wake detection (BOOST) *)
   mutable boosted : bool; (* woke recently: dispatched ahead of the pack *)
+  cell : Scheduler.slice; (* reusable dispatch decision, one per domain *)
+  cell_opt : Scheduler.slice option; (* [Some cell], preallocated *)
 }
 
 type t = {
@@ -33,95 +35,115 @@ let quota_of t credit =
 
 let refill t st = st.quota <- quota_of t st.effective_credit
 
+let rec index_of doms d i =
+  if i >= Array.length doms then -1
+  else if Domain.equal doms.(i).domain d then i
+  else index_of doms d (i + 1)
+
 let state t d =
-  match Array.find_opt (fun st -> Domain.equal st.domain d) t.doms with
-  | Some st -> st
-  | None -> invalid_arg "Sched_credit: unknown domain"
+  let i = index_of t.doms d 0 in
+  if i < 0 then invalid_arg "Sched_credit: unknown domain";
+  t.doms.(i)
 
 (* A capped domain is eligible when runnable, not excluded and holding
    quota; an uncapped one merely needs to be runnable. *)
-let eligible_capped st ~exclude =
+let eligible_capped st exclude =
   (not (Domain.uncapped st.domain))
   && Domain.runnable st.domain
-  && (not (Scheduler.excluded st.domain exclude))
+  && (not (Scheduler.Mask.mem exclude st.domain))
   && Sim_time.compare st.quota Sim_time.zero > 0
 
-let eligible_uncapped st ~exclude =
+let eligible_uncapped st exclude =
   Domain.uncapped st.domain
   && Domain.runnable st.domain
-  && not (Scheduler.excluded st.domain exclude)
+  && not (Scheduler.Mask.mem exclude st.domain)
 
-(* Rotating scan starting after the round-robin pointer. *)
-let rr_find t ptr pred =
-  let n = Array.length t.doms in
-  let rec loop i =
-    if i >= n then None
-    else begin
-      let idx = (ptr + 1 + i) mod n in
-      if pred t.doms.(idx) then Some idx else loop (i + 1)
-    end
-  in
-  loop 0
+(* Rotating scan starting after the round-robin pointer; -1 when nobody
+   matches.  The predicates are top-level functions so the per-tick pick
+   path builds no closures. *)
+let rec rr_find doms exclude ptr n i pred =
+  if i >= n then -1
+  else begin
+    let idx = (ptr + 1 + i) mod n in
+    if pred doms.(idx) exclude then idx else rr_find doms exclude ptr n (i + 1) pred
+  end
+
+let pred_boost st exclude =
+  st.boosted && (not (Domain.is_dom0 st.domain)) && eligible_capped st exclude
+
+let pred_capped st exclude =
+  (not (Domain.is_dom0 st.domain)) && eligible_capped st exclude
 
 (* Wake detection: a domain that just became runnable gets BOOST priority
    (Xen's latency fix for I/O-bound domains) until its next dispatch. *)
 let detect_wakes t =
-  Array.iter
-    (fun st ->
-      let runnable = Domain.runnable st.domain in
-      if t.boost && runnable && not st.was_runnable then st.boosted <- true;
-      st.was_runnable <- runnable)
-    t.doms
+  for i = 0 to Array.length t.doms - 1 do
+    let st = t.doms.(i) in
+    let runnable = Domain.runnable st.domain in
+    if t.boost && runnable && not st.was_runnable then st.boosted <- true;
+    st.was_runnable <- runnable
+  done
+
+let rec find_dom0 doms exclude i =
+  if i >= Array.length doms then -1
+  else begin
+    let st = doms.(i) in
+    if Domain.is_dom0 st.domain && eligible_capped st exclude then i
+    else find_dom0 doms exclude (i + 1)
+  end
+
+(* The per-domain slice record is reused across picks (see the contract in
+   Scheduler.slice): write the cap, hand back the preallocated option. *)
+let slice_of st cap ~remaining =
+  st.cell.Scheduler.max_slice <- Sim_time.min cap remaining;
+  st.cell_opt
 
 let pick t ~now:_ ~remaining ~exclude =
   detect_wakes t;
-  let slice_of st cap =
-    Some { Scheduler.domain = st.domain; max_slice = Sim_time.min cap remaining }
-  in
   (* Dom0 first: strictly highest priority. *)
-  let dom0 =
-    Array.find_opt
-      (fun st -> Domain.is_dom0 st.domain && eligible_capped st ~exclude)
-      t.doms
-  in
-  match dom0 with
-  | Some st -> slice_of st st.quota
-  | None -> (
-      match
-        rr_find t t.rr_boost (fun st ->
-            st.boosted && (not (Domain.is_dom0 st.domain)) && eligible_capped st ~exclude)
-      with
-      | Some idx ->
-          t.rr_boost <- idx;
-          let st = t.doms.(idx) in
-          slice_of st st.quota
-      | None -> (
-          match
-            rr_find t t.rr (fun st ->
-                (not (Domain.is_dom0 st.domain)) && eligible_capped st ~exclude)
-          with
-          | Some idx ->
-              t.rr <- idx;
-              let st = t.doms.(idx) in
-              slice_of st st.quota
-          | None -> (
-              match rr_find t t.rr_uncapped (eligible_uncapped ~exclude) with
-              | Some idx ->
-                  t.rr_uncapped <- idx;
-                  slice_of t.doms.(idx) remaining
-              | None -> None)))
+  let i0 = find_dom0 t.doms exclude 0 in
+  if i0 >= 0 then begin
+    let st = t.doms.(i0) in
+    slice_of st st.quota ~remaining
+  end
+  else begin
+    let n = Array.length t.doms in
+    let ib = rr_find t.doms exclude t.rr_boost n 0 pred_boost in
+    if ib >= 0 then begin
+      t.rr_boost <- ib;
+      let st = t.doms.(ib) in
+      slice_of st st.quota ~remaining
+    end
+    else begin
+      let ic = rr_find t.doms exclude t.rr n 0 pred_capped in
+      if ic >= 0 then begin
+        t.rr <- ic;
+        let st = t.doms.(ic) in
+        slice_of st st.quota ~remaining
+      end
+      else begin
+        let iu = rr_find t.doms exclude t.rr_uncapped n 0 eligible_uncapped in
+        if iu >= 0 then begin
+          t.rr_uncapped <- iu;
+          slice_of t.doms.(iu) remaining ~remaining
+        end
+        else None
+      end
+    end
+  end
 
 let charge t ~domain ~now ~used =
   let st = state t domain in
   st.boosted <- false; (* the low-latency dispatch happened; back in the pack *)
   st.quota <- (if Sim_time.compare used st.quota >= 0 then Sim_time.zero
                else Sim_time.sub st.quota used);
-  if Analysis.Config.enabled () then
-    Analysis.Check.run inv_quota ~time_s:(Sim_time.to_sec now) ~component:"sched-credit"
-      ~detail:(fun () ->
-        Printf.sprintf "domain %s quota %s after charge" (Domain.name domain)
-          (Sim_time.to_string st.quota))
-      (Sim_time.compare st.quota Sim_time.zero >= 0)
+  if Analysis.Config.enabled () then begin
+    if Sim_time.compare st.quota Sim_time.zero >= 0 then Analysis.Check.pass inv_quota
+    else
+      Analysis.Check.fail inv_quota ~time_s:(Sim_time.to_sec now) ~component:"sched-credit"
+        (Printf.sprintf "domain %s quota %s after charge" (Domain.name domain)
+           (Sim_time.to_string st.quota))
+  end
 
 let on_account_period t ~now:_ = Array.iter (refill t) t.doms
 
@@ -166,12 +188,15 @@ let create ?(account_period = Sim_time.of_ms 30) ?(host_capacity = 1) ?(boost = 
         Array.of_list
           (List.map
              (fun d ->
+               let cell = { Scheduler.domain = d; max_slice = Sim_time.zero } in
                {
                  domain = d;
                  effective_credit = Domain.initial_credit d;
                  quota = Sim_time.zero;
                  was_runnable = false;
                  boosted = false;
+                 cell;
+                 cell_opt = Some cell;
                })
              domains);
       rr = 0;

@@ -1,19 +1,31 @@
 module Domain = Hypervisor.Domain
 module Scheduler = Hypervisor.Scheduler
 
+(* The virtual runtime lives in a single-field float record so the per-tick
+   charge updates store into a flat float block instead of boxing a fresh
+   float for a mixed-field record. *)
+type vclock = { mutable vtime : float (* weighted virtual runtime, seconds *) }
+
 type dom_state = {
   domain : Domain.t;
   weight : float;
-  mutable vtime : float; (* weighted virtual runtime, seconds *)
+  vclock : vclock;
   mutable was_runnable : bool;
+  cell : Scheduler.slice; (* reusable dispatch decision *)
+  cell_opt : Scheduler.slice option;
 }
 
 type t = { doms : dom_state array; rate_limit : Sim_time.t }
 
+let rec index_of doms d i =
+  if i >= Array.length doms then -1
+  else if Domain.equal doms.(i).domain d then i
+  else index_of doms d (i + 1)
+
 let state t d =
-  match Array.find_opt (fun st -> Domain.equal st.domain d) t.doms with
-  | Some st -> st
-  | None -> invalid_arg "Sched_credit2: unknown domain"
+  let i = index_of t.doms d 0 in
+  if i < 0 then invalid_arg "Sched_credit2: unknown domain";
+  t.doms.(i)
 
 let weight_of d =
   let c = Domain.initial_credit d in
@@ -23,37 +35,42 @@ let weight_of d =
    runnable minimum so it cannot monopolise the CPU to "repay" its sleep. *)
 let on_wakeups t =
   let min_runnable = ref infinity in
-  Array.iter
-    (fun st ->
-      if st.was_runnable && Domain.runnable st.domain then
-        min_runnable := Float.min !min_runnable st.vtime)
-    t.doms;
-  Array.iter
-    (fun st ->
-      let runnable = Domain.runnable st.domain in
-      if runnable && not st.was_runnable && !min_runnable < infinity then
-        st.vtime <- Float.max st.vtime !min_runnable;
-      st.was_runnable <- runnable)
-    t.doms
+  for i = 0 to Array.length t.doms - 1 do
+    let st = t.doms.(i) in
+    if st.was_runnable && Domain.runnable st.domain then
+      min_runnable := Float.min !min_runnable st.vclock.vtime
+  done;
+  for i = 0 to Array.length t.doms - 1 do
+    let st = t.doms.(i) in
+    let runnable = Domain.runnable st.domain in
+    if runnable && not st.was_runnable && !min_runnable < infinity then
+      st.vclock.vtime <- Float.max st.vclock.vtime !min_runnable;
+    st.was_runnable <- runnable
+  done
 
 let pick t ~now:_ ~remaining ~exclude =
   on_wakeups t;
-  let best = ref None in
-  Array.iter
-    (fun st ->
-      if Domain.runnable st.domain && not (Scheduler.excluded st.domain exclude) then
-        match !best with
-        | Some b when b.vtime <= st.vtime -> ()
-        | Some _ | None -> best := Some st)
-    t.doms;
-  match !best with
-  | Some st ->
-      Some { Scheduler.domain = st.domain; max_slice = Sim_time.min t.rate_limit remaining }
-  | None -> None
+  (* Lowest virtual runtime wins; the first domain in array order wins
+     ties, exactly as the old option-accumulating scan did. *)
+  let best = ref (-1) in
+  for i = 0 to Array.length t.doms - 1 do
+    let st = t.doms.(i) in
+    if
+      Domain.runnable st.domain
+      && (not (Scheduler.Mask.mem exclude st.domain))
+      && (!best < 0 || st.vclock.vtime < t.doms.(!best).vclock.vtime)
+    then best := i
+  done;
+  if !best < 0 then None
+  else begin
+    let st = t.doms.(!best) in
+    st.cell.Scheduler.max_slice <- Sim_time.min t.rate_limit remaining;
+    st.cell_opt
+  end
 
 let charge t ~domain ~now:_ ~used =
   let st = state t domain in
-  st.vtime <- st.vtime +. (Sim_time.to_sec used *. 256.0 /. st.weight)
+  st.vclock.vtime <- st.vclock.vtime +. (Sim_time.to_sec used *. 256.0 /. st.weight)
 
 let create ?(rate_limit = Sim_time.of_ms 1) domains =
   let ids = List.map Domain.id domains in
@@ -66,7 +83,15 @@ let create ?(rate_limit = Sim_time.of_ms 1) domains =
         Array.of_list
           (List.map
              (fun d ->
-               { domain = d; weight = weight_of d; vtime = 0.0; was_runnable = false })
+               let cell = { Scheduler.domain = d; max_slice = Sim_time.zero } in
+               {
+                 domain = d;
+                 weight = weight_of d;
+                 vclock = { vtime = 0.0 };
+                 was_runnable = false;
+                 cell;
+                 cell_opt = Some cell;
+               })
              domains);
     }
   in

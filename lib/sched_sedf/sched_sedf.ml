@@ -4,10 +4,12 @@ module Scheduler = Hypervisor.Scheduler
 type dom_state = {
   domain : Domain.t;
   extra : bool;
-  mutable slice : Sim_time.t; (* s: guaranteed CPU time per period *)
+  mutable slice : Sim_time.t; (* guaranteed CPU time per period *)
   mutable credit_pct : float; (* the credit the slice was derived from *)
   mutable deadline : Sim_time.t; (* end of the current period *)
   mutable slice_remaining : Sim_time.t;
+  cell : Scheduler.slice; (* reusable dispatch decision *)
+  cell_opt : Scheduler.slice option;
 }
 
 type t = {
@@ -19,10 +21,15 @@ type t = {
 
 let slice_of t pct = Sim_time.of_sec_f (pct /. 100.0 *. Sim_time.to_sec t.period)
 
+let rec index_of doms d i =
+  if i >= Array.length doms then -1
+  else if Domain.equal doms.(i).domain d then i
+  else index_of doms d (i + 1)
+
 let state t d =
-  match Array.find_opt (fun st -> Domain.equal st.domain d) t.doms with
-  | Some st -> st
-  | None -> invalid_arg "Sched_sedf: unknown domain"
+  let i = index_of t.doms d 0 in
+  if i < 0 then invalid_arg "Sched_sedf: unknown domain";
+  t.doms.(i)
 
 (* Lazily roll a domain forward to the period containing [now]; a domain
    that slept across several periods gets no back-pay (slices do not
@@ -35,52 +42,51 @@ let refresh t st ~now =
     st.slice_remaining <- st.slice
   end
 
+(* Extratime: spare capacity round-robin among willing domains. *)
+let rec extra_scan t exclude n i =
+  if i >= n then -1
+  else begin
+    let idx = (t.rr_extra + 1 + i) mod n in
+    let st = t.doms.(idx) in
+    if
+      st.extra
+      && Domain.runnable st.domain
+      && not (Scheduler.Mask.mem exclude st.domain)
+    then idx
+    else extra_scan t exclude n (i + 1)
+  end
+
 let pick t ~now ~remaining ~exclude =
-  Array.iter (fun st -> refresh t st ~now) t.doms;
-  (* EDF over domains still holding a guaranteed slice. *)
-  let best = ref None in
-  Array.iter
-    (fun st ->
-      if
-        Domain.runnable st.domain
-        && (not (Scheduler.excluded st.domain exclude))
-        && Sim_time.compare st.slice_remaining Sim_time.zero > 0
-      then
-        match !best with
-        | Some b when Sim_time.compare b.deadline st.deadline <= 0 -> ()
-        | Some _ | None -> best := Some st)
-    t.doms;
-  match !best with
-  | Some st ->
-      Some
-        {
-          Scheduler.domain = st.domain;
-          max_slice = Sim_time.min st.slice_remaining remaining;
-        }
-  | None -> (
-      (* Extratime: spare capacity round-robin among willing domains. *)
-      let n = Array.length t.doms in
-      let rec loop i =
-        if i >= n then None
-        else begin
-          let idx = (t.rr_extra + 1 + i) mod n in
-          let st = t.doms.(idx) in
-          if
-            st.extra
-            && Domain.runnable st.domain
-            && not (Scheduler.excluded st.domain exclude)
-          then begin
-            t.rr_extra <- idx;
-            Some
-              {
-                Scheduler.domain = st.domain;
-                max_slice = Sim_time.min t.extra_slice remaining;
-              }
-          end
-          else loop (i + 1)
-        end
-      in
-      loop 0)
+  for i = 0 to Array.length t.doms - 1 do
+    refresh t t.doms.(i) ~now
+  done;
+  (* EDF over domains still holding a guaranteed slice; the first domain in
+     array order wins deadline ties. *)
+  let best = ref (-1) in
+  for i = 0 to Array.length t.doms - 1 do
+    let st = t.doms.(i) in
+    if
+      Domain.runnable st.domain
+      && (not (Scheduler.Mask.mem exclude st.domain))
+      && Sim_time.compare st.slice_remaining Sim_time.zero > 0
+      && (!best < 0 || Sim_time.compare st.deadline t.doms.(!best).deadline < 0)
+    then best := i
+  done;
+  if !best >= 0 then begin
+    let st = t.doms.(!best) in
+    st.cell.Scheduler.max_slice <- Sim_time.min st.slice_remaining remaining;
+    st.cell_opt
+  end
+  else begin
+    let idx = extra_scan t exclude (Array.length t.doms) 0 in
+    if idx < 0 then None
+    else begin
+      t.rr_extra <- idx;
+      let st = t.doms.(idx) in
+      st.cell.Scheduler.max_slice <- Sim_time.min t.extra_slice remaining;
+      st.cell_opt
+    end
+  end
 
 let charge t ~domain ~now:_ ~used =
   let st = state t domain in
@@ -115,6 +121,7 @@ let create ?(period = Sim_time.of_ms 100) ?(extra = true) ?(extra_slice = Sim_ti
       (List.map
          (fun d ->
            let pct = Domain.initial_credit d in
+           let cell = { Scheduler.domain = d; max_slice = Sim_time.zero } in
            {
              domain = d;
              extra;
@@ -122,6 +129,8 @@ let create ?(period = Sim_time.of_ms 100) ?(extra = true) ?(extra_slice = Sim_ti
              credit_pct = pct;
              deadline = period;
              slice_remaining = slice_of t pct;
+             cell;
+             cell_opt = Some cell;
            })
          domains)
   in

@@ -1,7 +1,11 @@
+(* The remaining-work counter is per-tick mutable float state; keeping it
+   in an all-float sub-record makes the execute-path store unboxed. *)
+type progress = { mutable remaining : float }
+
 type t = {
   total_work : float;
   duty_cycle : float;
-  mutable remaining : float;
+  progress : progress;
   mutable tokens : Sim_time.t; (* accumulated CPU-time demand *)
   mutable start_time : Sim_time.t option;
   mutable finish_time : Sim_time.t option;
@@ -18,35 +22,37 @@ let create ?(duty_cycle = 1.0) ~work () =
   {
     total_work = work;
     duty_cycle;
-    remaining = work;
+    progress = { remaining = work };
     tokens = Sim_time.zero;
     start_time = None;
     finish_time = None;
   }
 
 let advance t ~now:_ ~dt =
-  if t.remaining > 0.0 then begin
+  if t.progress.remaining > 0.0 then begin
     let earned = Sim_time.of_sec_f (t.duty_cycle *. Sim_time.to_sec dt) in
     t.tokens <- Sim_time.min token_cap (Sim_time.add t.tokens earned)
   end
 
-let has_work t () = t.remaining > 0.0 && Sim_time.compare t.tokens Sim_time.zero > 0
+let has_work t () = t.progress.remaining > 0.0 && Sim_time.compare t.tokens Sim_time.zero > 0
 
 let execute t ~now ~cpu_time ~speed =
-  if t.remaining <= 0.0 then Sim_time.zero
+  if t.progress.remaining <= 0.0 then Sim_time.zero
   else begin
-    if t.start_time = None then t.start_time <- Some now;
+    (match t.start_time with None -> t.start_time <- Some now | Some _ -> ());
     (* Round the finishing slice up to the clock resolution, otherwise a
        residue smaller than one microsecond of work could never complete. *)
     let time_to_finish =
-      Sim_time.max (Sim_time.of_us 1) (Sim_time.of_sec_f (t.remaining /. speed))
+      Sim_time.max (Sim_time.of_us 1) (Sim_time.of_sec_f (t.progress.remaining /. speed))
     in
     let used = Sim_time.min cpu_time (Sim_time.min t.tokens time_to_finish) in
     t.tokens <- Sim_time.sub t.tokens used;
-    t.remaining <- t.remaining -. (Sim_time.to_sec used *. speed);
-    if t.remaining <= 1e-9 then begin
-      t.remaining <- 0.0;
-      if t.finish_time = None then t.finish_time <- Some (Sim_time.add now used)
+    t.progress.remaining <- t.progress.remaining -. (Sim_time.to_sec used *. speed);
+    if t.progress.remaining <= 1e-9 then begin
+      t.progress.remaining <- 0.0;
+      match t.finish_time with
+      | None -> t.finish_time <- Some (Sim_time.add now used)
+      | Some _ -> ()
     end;
     used
   end
@@ -58,8 +64,8 @@ let workload t =
     ()
 
 let total_work t = t.total_work
-let remaining_work t = t.remaining
-let finished t = t.remaining <= 0.0
+let remaining_work t = t.progress.remaining
+let finished t = t.progress.remaining <= 0.0
 let start_time t = t.start_time
 let finish_time t = t.finish_time
 
@@ -69,7 +75,7 @@ let execution_time t =
   | _ -> None
 
 let reset t =
-  t.remaining <- t.total_work;
+  t.progress.remaining <- t.total_work;
   t.tokens <- Sim_time.zero;
   t.start_time <- None;
   t.finish_time <- None

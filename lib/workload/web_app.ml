@@ -2,18 +2,25 @@ type arrival = Deterministic | Poisson of Prng.t
 
 type request = { arrived : Sim_time.t; mutable remaining : float }
 
+(* The per-tick float counters live in an all-float sub-record so the
+   advance/execute hot paths store into a flat float block instead of
+   boxing a fresh float per update of a mixed record. *)
+type acc = {
+  mutable carry : float; (* fractional request accumulation (deterministic) *)
+  mutable injected_work : float;
+  mutable completed_work : float;
+}
+
 type t = {
   request_work : float;
   arrival : arrival;
   timeout : Sim_time.t option;
   schedule : (Sim_time.t * float) array;
   queue : request Queue.t;
-  mutable carry : float; (* fractional request accumulation (deterministic) *)
+  acc : acc;
   mutable injected : int;
   mutable completed : int;
   mutable timed_out : int;
-  mutable injected_work : float;
-  mutable completed_work : float;
   response : Stats.Running.t;
 }
 
@@ -42,25 +49,26 @@ let create ?(request_work = 0.005) ?(arrival = Deterministic) ?timeout ~rate_sch
     timeout;
     schedule = Array.of_list rate_schedule;
     queue = Queue.create ();
-    carry = 0.0;
+    acc = { carry = 0.0; injected_work = 0.0; completed_work = 0.0 };
     injected = 0;
     completed = 0;
     timed_out = 0;
-    injected_work = 0.0;
-    completed_work = 0.0;
     response = Stats.Running.create ();
   }
 
 let current_rate t ~now =
   let rate = ref 0.0 in
-  Array.iter (fun (time, r) -> if Sim_time.compare time now <= 0 then rate := r) t.schedule;
+  for i = 0 to Array.length t.schedule - 1 do
+    let time, r = t.schedule.(i) in
+    if Sim_time.compare time now <= 0 then rate := r
+  done;
   !rate
 
 let inject t ~now n =
   for _ = 1 to n do
     Queue.push { arrived = now; remaining = t.request_work } t.queue;
     t.injected <- t.injected + 1;
-    t.injected_work <- t.injected_work +. t.request_work
+    t.acc.injected_work <- t.acc.injected_work +. t.request_work
   done
 
 (* Drop queued requests older than the timeout (httperf clients give up);
@@ -70,10 +78,10 @@ let expire t ~now =
   match t.timeout with
   | None -> ()
   | Some limit ->
-      let deadline_passed req = Sim_time.compare (Sim_time.diff now req.arrived) limit > 0 in
       let continue = ref true in
       while (not (Queue.is_empty t.queue)) && !continue do
-        if deadline_passed (Queue.peek t.queue) then begin
+        let req = Queue.peek t.queue in
+        if Sim_time.compare (Sim_time.diff now req.arrived) limit > 0 then begin
           ignore (Queue.pop t.queue);
           t.timed_out <- t.timed_out + 1
         end
@@ -87,9 +95,9 @@ let advance t ~now ~dt =
     let expected = rate *. Sim_time.to_sec dt /. t.request_work in
     match t.arrival with
     | Deterministic ->
-        t.carry <- t.carry +. expected;
-        let n = int_of_float t.carry in
-        t.carry <- t.carry -. float_of_int n;
+        t.acc.carry <- t.acc.carry +. expected;
+        let n = int_of_float t.acc.carry in
+        t.acc.carry <- t.acc.carry -. float_of_int n;
         inject t ~now n
     | Poisson rng -> inject t ~now (Prng.poisson rng ~mean:expected)
   end
@@ -108,7 +116,7 @@ let execute t ~now ~cpu_time ~speed =
       req.remaining <- 0.0;
       ignore (Queue.pop t.queue);
       t.completed <- t.completed + 1;
-      t.completed_work <- t.completed_work +. t.request_work;
+      t.acc.completed_work <- t.acc.completed_work +. t.request_work;
       Stats.Running.add t.response (Sim_time.to_sec now -. Sim_time.to_sec req.arrived)
     end
     else begin
@@ -132,8 +140,8 @@ let queued_work t = Queue.fold (fun acc req -> acc +. req.remaining) 0.0 t.queue
 
 let injected_requests t = t.injected
 let completed_requests t = t.completed
-let injected_work t = t.injected_work
-let completed_work t = t.completed_work
+let injected_work t = t.acc.injected_work
+let completed_work t = t.acc.completed_work
 let response_times t = t.response
 
 let timed_out_requests t = t.timed_out

@@ -66,8 +66,13 @@ let scheduler_defaults () =
 let scheduler_excluded () =
   let a = Domain.create ~name:"a" ~credit_pct:10.0 (Workload.idle ()) in
   let b = Domain.create ~name:"b" ~credit_pct:10.0 (Workload.idle ()) in
-  check_bool "present" true (Scheduler.excluded a [ b; a ]);
-  check_bool "absent" false (Scheduler.excluded a [ b ])
+  check_bool "present" true (Scheduler.excluded a (Scheduler.Mask.of_list [ b; a ]));
+  check_bool "absent" false (Scheduler.excluded a (Scheduler.Mask.of_list [ b ]));
+  let mask = Scheduler.Mask.of_list [ a; b ] in
+  Scheduler.Mask.clear mask;
+  check_bool "cleared" false (Scheduler.Mask.mem mask a);
+  Scheduler.Mask.add mask a;
+  check_bool "re-added" true (Scheduler.Mask.mem mask a)
 
 (* ------------------------------------------------------------------ *)
 (* Host *)

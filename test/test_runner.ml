@@ -118,12 +118,145 @@ let manifest_shape () =
     let rec loop i = i + m <= n && (String.sub manifest i m = sub || loop (i + 1)) in
     loop 0
   in
-  check_bool "schema tag" true (has "\"schema\": \"dvfs-bench-manifest/1\"");
+  check_bool "schema tag" true (has "\"schema\": \"dvfs-bench-manifest/2\"");
+  check_bool "word counters recorded" true (has "\"minor_words\": ");
   check_bool "ok entry" true (has "{\"id\": \"alpha\", \"status\": \"ok\"");
   check_bool "failed entry with escaped id" true
     (has "{\"id\": \"beta \\\"quoted\\\"\", \"status\": \"failed\"");
   check_bool "error recorded" true (has "\"error\": ");
   check_bool "rows recorded" true (has "\"rows\": 1")
+
+(* --------------------------------------------------------------- *)
+(* Manifest reader / regression differ *)
+
+module Manifest = Runner.Manifest
+
+(* The writer and reader are two halves of one loop: a freshly written
+   manifest must load back with the same shape. *)
+let manifest_roundtrip () =
+  let report =
+    Runner.run_all ~pool_size:1 ~scale:1.0
+      ~experiments:[ ok_experiment "alpha"; failing_experiment "beta" ]
+      ()
+  in
+  let m = Manifest.of_string (Runner.manifest_json report) in
+  check_string "schema" "dvfs-bench-manifest/2" m.Manifest.schema;
+  check_int "jobs" 1 m.Manifest.jobs;
+  check_int "experiments" 2 (List.length m.Manifest.experiments);
+  (match m.Manifest.experiments with
+  | [ a; b ] ->
+      check_string "first id" "alpha" a.Manifest.id;
+      check_string "first status" "ok" a.Manifest.status;
+      check_int "first rows" 1 a.Manifest.rows;
+      check_bool "word counters present" true (a.Manifest.minor_words >= 0.0);
+      check_string "second status" "failed" b.Manifest.status
+  | _ -> Alcotest.fail "unexpected experiment list");
+  check_bool "alloc total finite" true (Float.is_finite (Manifest.total_alloc_mb m))
+
+let v1_manifest =
+  {|{
+  "schema": "dvfs-bench-manifest/1",
+  "scale": 0.1,
+  "jobs": 4,
+  "host_domains": 2,
+  "total_seconds": 12.5,
+  "experiments": [
+    {"id": "fig3", "status": "ok", "seconds": 4.0, "cpu_seconds": 3.9, "alloc_mb": 120.0, "rows": 64},
+    {"id": "fig4", "status": "failed", "seconds": 0.1, "cpu_seconds": 0.1, "alloc_mb": 1.5, "rows": 0, "error": "boom"}
+  ]
+}|}
+
+let manifest_v1_compat () =
+  let m = Manifest.of_string v1_manifest in
+  check_string "schema" "dvfs-bench-manifest/1" m.Manifest.schema;
+  check_int "jobs" 4 m.Manifest.jobs;
+  check_int "host_domains" 2 m.Manifest.host_domains;
+  Alcotest.(check (float 1e-9)) "total_seconds" 12.5 m.Manifest.total_seconds;
+  Alcotest.(check (float 1e-9)) "alloc sums both entries" 121.5 (Manifest.total_alloc_mb m);
+  List.iter
+    (fun e ->
+      Alcotest.(check (float 0.0))
+        (e.Manifest.id ^ " minor_words defaults") 0.0 e.Manifest.minor_words;
+      Alcotest.(check (float 0.0))
+        (e.Manifest.id ^ " major_words defaults") 0.0 e.Manifest.major_words)
+    m.Manifest.experiments
+
+let manifest_rejects () =
+  let rejects label s =
+    match Manifest.of_string s with
+    | exception Manifest.Parse_error _ -> ()
+    | _ -> Alcotest.failf "%s: expected Parse_error" label
+  in
+  rejects "malformed json" "{\"schema\": ";
+  rejects "trailing garbage" "{} {}";
+  rejects "unsupported schema"
+    {|{"schema": "dvfs-bench-manifest/99", "experiments": []}|};
+  rejects "missing experiments" {|{"schema": "dvfs-bench-manifest/2"}|};
+  rejects "mistyped field"
+    {|{"schema": "dvfs-bench-manifest/2", "experiments": [{"id": 3}]}|}
+
+let mexp ?(status = "ok") id ~seconds ~alloc_mb =
+  {
+    Manifest.id;
+    status;
+    seconds;
+    cpu_seconds = seconds;
+    alloc_mb;
+    minor_words = 0.0;
+    major_words = 0.0;
+    rows = 1;
+  }
+
+let mt ~total experiments =
+  {
+    Manifest.schema = "dvfs-bench-manifest/2";
+    scale = 1.0;
+    jobs = 1;
+    host_domains = 1;
+    total_seconds = total;
+    experiments;
+  }
+
+let manifest_diff () =
+  let baseline =
+    mt ~total:10.0
+      [
+        mexp "steady" ~seconds:2.0 ~alloc_mb:100.0;
+        mexp "tiny" ~seconds:0.01 ~alloc_mb:0.2;
+        mexp "broken" ~status:"failed" ~seconds:0.1 ~alloc_mb:1.0;
+      ]
+  in
+  let current =
+    mt ~total:11.0
+      [
+        (* 2x the baseline seconds: beyond the default 1.5x tolerance. *)
+        mexp "steady" ~seconds:4.0 ~alloc_mb:110.0;
+        (* Huge ratio but the baseline sits under the noise floor. *)
+        mexp "tiny" ~seconds:1.0 ~alloc_mb:0.9;
+        (* Failed experiments are not compared. *)
+        mexp "broken" ~status:"failed" ~seconds:5.0 ~alloc_mb:50.0;
+        (* Present only on one side: registry growth, not a regression. *)
+        mexp "new-exp" ~seconds:9.0 ~alloc_mb:900.0;
+      ]
+  in
+  (match Manifest.diff ~baseline ~current () with
+  | [ r ] ->
+      check_string "regressed id" "steady" r.Manifest.exp_id;
+      check_string "regressed metric" "seconds" r.Manifest.metric;
+      Alcotest.(check (float 1e-9)) "ratio" 2.0 r.Manifest.ratio
+  | l -> Alcotest.failf "expected one regression, got %d" (List.length l));
+  check_bool "generous tolerance passes" true
+    (Manifest.diff ~tolerance:3.0 ~baseline ~current () = []);
+  (* The run-wide total is gated too. *)
+  let slow = mt ~total:30.0 baseline.Manifest.experiments in
+  (match Manifest.diff ~baseline ~current:slow () with
+  | [ r ] ->
+      check_string "total id" "(total)" r.Manifest.exp_id;
+      check_string "total metric" "total_seconds" r.Manifest.metric
+  | l -> Alcotest.failf "expected one total regression, got %d" (List.length l));
+  Alcotest.check_raises "tolerance below 1"
+    (Invalid_argument "Manifest.diff: tolerance must be >= 1.0")
+    (fun () -> ignore (Manifest.diff ~tolerance:0.5 ~baseline ~current ()))
 
 let validation () =
   Alcotest.check_raises "pool_size 0" (Invalid_argument "Runner.run_all: pool_size must be positive")
@@ -145,5 +278,12 @@ let () =
           Alcotest.test_case "failure isolation" `Quick failure_isolation;
           Alcotest.test_case "manifest shape" `Quick manifest_shape;
           Alcotest.test_case "validation" `Quick validation;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "writer/reader roundtrip" `Quick manifest_roundtrip;
+          Alcotest.test_case "schema /1 compatibility" `Quick manifest_v1_compat;
+          Alcotest.test_case "rejects malformed input" `Quick manifest_rejects;
+          Alcotest.test_case "regression diff" `Quick manifest_diff;
         ] );
     ]

@@ -157,7 +157,10 @@ let pick_excludes () =
   let a = Domain.create ~name:"a" ~credit_pct:50.0 (Workload.busy_loop ()) in
   let b = Domain.create ~name:"b" ~credit_pct:50.0 (Workload.busy_loop ()) in
   let sched = Sched_credit.create [ a; b ] in
-  match sched.Scheduler.pick ~now:Sim_time.zero ~remaining:(Sim_time.of_ms 1) ~exclude:[ a ] with
+  match
+    sched.Scheduler.pick ~now:Sim_time.zero ~remaining:(Sim_time.of_ms 1)
+      ~exclude:(Scheduler.Mask.of_list [ a ])
+  with
   | Some { Scheduler.domain; _ } -> check_bool "avoids excluded" true (Domain.equal domain b)
   | None -> Alcotest.fail "expected a pick"
 
@@ -165,7 +168,9 @@ let pick_none_when_all_excluded () =
   let a = Domain.create ~name:"a" ~credit_pct:50.0 (Workload.busy_loop ()) in
   let sched = Sched_credit.create [ a ] in
   check_bool "none" true
-    (sched.Scheduler.pick ~now:Sim_time.zero ~remaining:(Sim_time.of_ms 1) ~exclude:[ a ] = None)
+    (sched.Scheduler.pick ~now:Sim_time.zero ~remaining:(Sim_time.of_ms 1)
+       ~exclude:(Scheduler.Mask.of_list [ a ])
+    = None)
 
 let () =
   Alcotest.run "sched_credit"

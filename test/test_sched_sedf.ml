@@ -98,7 +98,10 @@ let pick_respects_exclude () =
   let a = Domain.create ~name:"a" ~credit_pct:50.0 (Workload.busy_loop ()) in
   let b = Domain.create ~name:"b" ~credit_pct:50.0 (Workload.busy_loop ()) in
   let sched = Sched_sedf.create [ a; b ] in
-  match sched.Scheduler.pick ~now:Sim_time.zero ~remaining:(Sim_time.of_ms 1) ~exclude:[ a ] with
+  match
+    sched.Scheduler.pick ~now:Sim_time.zero ~remaining:(Sim_time.of_ms 1)
+      ~exclude:(Scheduler.Mask.of_list [ a ])
+  with
   | Some { Scheduler.domain; _ } -> check_bool "picks b" true (Domain.equal domain b)
   | None -> Alcotest.fail "expected a pick"
 
