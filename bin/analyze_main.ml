@@ -1,25 +1,55 @@
 (* Driver for the AST analysis passes (dune build @analyze): parses every
    compilation unit under the given roots with compiler-libs and runs the
-   unit-of-measure and domain-safety checks (see lib/staticcheck).  Exits
-   nonzero if any rule fires; --sarif FILE additionally writes the issues
-   as a SARIF 2.1.0 document (written even when clean, so CI can always
-   upload it). *)
+   per-file unit-of-measure and domain-safety checks plus the
+   whole-program determinism-effect and lock-discipline passes (see
+   lib/staticcheck).  Exits nonzero if any rule fires.
+
+   --sarif FILE            write the issues as SARIF 2.1.0 (written even
+                           when clean, so CI can always upload it)
+   --sarif-baseline FILE   compare against a committed SARIF baseline:
+                           only findings absent from the baseline fail
+                           the build; matching is by (file, rule,
+                           message), line-insensitive
+   --timing FILE           write {"analyze_seconds": …} so the bench
+                           manifest can gate analyzer wall-time
+   --explain RULE          print what RULE means, how to fix and how to
+                           waive it, then exit *)
 
 let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
 
 let usage () =
-  Format.eprintf "usage: analyze_main [--sarif FILE] [root ...]@.";
+  Format.eprintf
+    "usage: analyze_main [--sarif FILE] [--sarif-baseline FILE] [--timing FILE] \
+     [--explain RULE] [root ...]@.";
   exit 2
+
+let write_timing ~path seconds =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"schema\": \"dvfs-analyze-timing/1\",\n  \"analyze_seconds\": %.3f\n}\n"
+        seconds)
 
 let () =
   let sarif = ref None in
+  let baseline = ref None in
+  let timing = ref None in
   let roots = ref [] in
   let rec parse_args = function
     | [] -> ()
+    | "--explain" :: rule :: _ -> exit (Staticcheck.Explain.explain rule)
     | "--sarif" :: path :: rest ->
         sarif := Some path;
         parse_args rest
-    | [ "--sarif" ] -> usage ()
+    | "--sarif-baseline" :: path :: rest ->
+        baseline := Some path;
+        parse_args rest
+    | "--timing" :: path :: rest ->
+        timing := Some path;
+        parse_args rest
+    | [ ("--sarif" | "--sarif-baseline" | "--timing" | "--explain") ] -> usage ()
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
     | root :: rest ->
         roots := root :: !roots;
@@ -33,6 +63,24 @@ let () =
         Report.check_roots ~tool:"analyze" roots;
         roots
   in
+  let t0 = Unix.gettimeofday () in
   let issues = Staticcheck.analyze_paths roots in
+  let seconds = Unix.gettimeofday () -. t0 in
+  Option.iter (fun path -> write_timing ~path seconds) !timing;
   Option.iter (fun path -> Staticcheck.Sarif.save ~tool:"staticcheck" issues ~path) !sarif;
-  exit (Report.report ~tool:"analyze" issues)
+  match !baseline with
+  | None -> exit (Report.report ~tool:"analyze" issues)
+  | Some path ->
+      let base =
+        match Staticcheck.Sarif.load path with
+        | base -> base
+        | exception (Sys_error msg | Failure msg) ->
+            Format.eprintf "analyze: cannot read baseline %s: %s@." path msg;
+            exit 2
+      in
+      let d = Staticcheck.Sarif.diff_baseline ~baseline:base ~current:issues in
+      if d.Staticcheck.Sarif.suppressed > 0 || d.Staticcheck.Sarif.stale > 0 then
+        Format.eprintf
+          "analyze: baseline %s: %d finding(s) suppressed, %d stale entr(y/ies)@."
+          path d.Staticcheck.Sarif.suppressed d.Staticcheck.Sarif.stale;
+      exit (Report.report ~tool:"analyze" d.Staticcheck.Sarif.fresh)

@@ -62,8 +62,17 @@ let run_cmd =
 
 (* run-all: the whole registry on a domain pool, with a JSON manifest. *)
 
-let run_all jobs scale manifest quiet =
+let run_all jobs scale manifest analyze_timing quiet =
   let jobs = match jobs with Some j -> j | None -> Runner.default_pool_size () in
+  let analyze_seconds =
+    Option.map
+      (fun path ->
+        try Runner.Manifest.read_analyze_timing path
+        with Runner.Manifest.Parse_error msg | Sys_error msg ->
+          Printf.eprintf "cannot read analyze timing %s: %s\n" path msg;
+          exit 2)
+      analyze_timing
+  in
   let report =
     try Runner.run_all ~pool_size:jobs ~scale ()
     with Invalid_argument msg ->
@@ -74,7 +83,7 @@ let run_all jobs scale manifest quiet =
   Runner.pp_summary Format.std_formatter report;
   (match manifest with
   | Some path ->
-      Runner.save_manifest report ~path;
+      Runner.save_manifest ?analyze_seconds report ~path;
       Printf.printf "wrote manifest %s\n" path
   | None -> ());
   match Runner.failures report with
@@ -109,12 +118,23 @@ let run_all_cmd =
       & info [ "manifest" ] ~docv:"PATH"
           ~doc:"Write a JSON results manifest (id, status, seconds, rows per experiment).")
   in
+  let analyze_timing =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "analyze-timing" ] ~docv:"PATH"
+          ~doc:
+            "Read an analyzer timing side-file (written by analyze_main --timing) and \
+             record its analyze_seconds in the manifest, so the perf gate also catches \
+             static-analysis wall-time regressions.")
+  in
   let quiet =
     Arg.(
       value & flag
       & info [ "q"; "quiet" ] ~doc:"Suppress experiment outputs; print only the timing summary.")
   in
-  Cmd.v (Cmd.info "run-all" ~doc) Term.(const run_all $ jobs $ scale $ manifest $ quiet)
+  Cmd.v (Cmd.info "run-all" ~doc)
+    Term.(const run_all $ jobs $ scale $ manifest $ analyze_timing $ quiet)
 
 let () =
   let doc = "Reproduction experiments for 'DVFS Aware CPU Credit Enforcement'" in

@@ -1,24 +1,28 @@
 type policy = Fail_fast | Collect | Warn
 
-let enabled_flag = ref false
-let current_policy = ref Fail_fast
+(* Sanitizer state is shared across runner domains: the flag and policy
+   are atomics (the [enabled] fast path must stay one plain load, no
+   allocation), the violation sink is guarded by [collected_mu]. *)
+let enabled_flag = Atomic.make false
+let current_policy = Atomic.make Fail_fast
+let collected_mu = Mutex.create ()
 let collected : Violation.t list ref = ref []
 
-let enabled () = !enabled_flag
+let enabled () = Atomic.get enabled_flag
 
 let enable ?(policy = Fail_fast) () =
-  enabled_flag := true;
-  current_policy := policy
+  Atomic.set current_policy policy;
+  Atomic.set enabled_flag true
 
-let disable () = enabled_flag := false
-let policy () = !current_policy
-let set_policy p = current_policy := p
-let violations () = List.rev !collected
-let clear () = collected := []
+let disable () = Atomic.set enabled_flag false
+let policy () = Atomic.get current_policy
+let set_policy p = Atomic.set current_policy p
+let violations () = Mutex.protect collected_mu (fun () -> List.rev !collected)
+let clear () = Mutex.protect collected_mu (fun () -> collected := [])
 
 let record v =
-  collected := v :: !collected;
-  match !current_policy with
+  Mutex.protect collected_mu (fun () -> collected := v :: !collected);
+  match Atomic.get current_policy with
   | Fail_fast -> raise (Violation.Error v)
   | Collect -> ()
   | Warn -> Format.eprintf "sanitizer: %a@." Violation.pp v

@@ -2,48 +2,63 @@ type t = {
   name : string;
   equation : string option;
   doc : string option;
-  mutable checks : int;
-  mutable violations : int;
+  checks : int Atomic.t;
+  violations : int Atomic.t;
 }
 
 (* Registration order is part of the reporting contract, so the registry is
    an ordered list rather than a hash table; it holds a handful of entries
-   and is only scanned at registration and reporting time. *)
+   and is only scanned at registration and reporting time.  Invariants are
+   exercised from runner worker domains, so the registry is guarded by
+   [registry_mu] and the per-invariant counters are atomic (the
+   [record_check] hot path stays allocation-free). *)
+let registry_mu = Mutex.create ()
 let registry : t list ref = ref []
 
-let find name = List.find_opt (fun i -> String.equal i.name name) !registry
+let find name =
+  Mutex.protect registry_mu (fun () ->
+      List.find_opt (fun i -> String.equal i.name name) !registry)
 
 let register ?equation ?doc name =
-  match find name with
-  | Some existing -> existing
-  | None ->
-      let inv = { name; equation; doc; checks = 0; violations = 0 } in
-      registry := !registry @ [ inv ];
-      inv
+  Mutex.protect registry_mu (fun () ->
+      match List.find_opt (fun i -> String.equal i.name name) !registry with
+      | Some existing -> existing
+      | None ->
+          let inv =
+            {
+              name;
+              equation;
+              doc;
+              checks = Atomic.make 0;
+              violations = Atomic.make 0;
+            }
+          in
+          registry := !registry @ [ inv ];
+          inv)
 
 let name t = t.name
 let equation t = t.equation
 let doc t = t.doc
-let checks t = t.checks
-let violations t = t.violations
+let checks t = Atomic.get t.checks
+let violations t = Atomic.get t.violations
 
 let record_check t ~ok =
-  t.checks <- t.checks + 1;
-  if not ok then t.violations <- t.violations + 1
+  Atomic.incr t.checks;
+  if not ok then Atomic.incr t.violations
 
-let all () = !registry
+let all () = Mutex.protect registry_mu (fun () -> !registry)
 
 let reset_counters () =
   List.iter
     (fun i ->
-      i.checks <- 0;
-      i.violations <- 0)
-    !registry
+      Atomic.set i.checks 0;
+      Atomic.set i.violations 0)
+    (all ())
 
 let pp_summary ppf () =
   List.iter
     (fun i ->
       Format.fprintf ppf "%-36s %-8s checks=%-8d violations=%d@." i.name
         (match i.equation with Some e -> e | None -> "-")
-        i.checks i.violations)
-    !registry
+        (Atomic.get i.checks) (Atomic.get i.violations))
+    (all ())

@@ -5,11 +5,12 @@ type t = {
   mutable cpu_time : Sim_time.t;
 }
 
-let next_pid = ref 0
+(* Guest processes are created from parallel experiment runs; pids must
+   stay unique across worker domains, so the counter is atomic. *)
+let next_pid = Atomic.make 0
 
 let create ~name workload =
-  incr next_pid;
-  { pid = !next_pid; name; workload; cpu_time = Sim_time.zero }
+  { pid = Atomic.fetch_and_add next_pid 1 + 1; name; workload; cpu_time = Sim_time.zero }
 
 let pid t = t.pid
 let name t = t.name

@@ -9,16 +9,17 @@ type t = {
   mutable cpu_time : Sim_time.t;
 }
 
-let next_id = ref 0
+(* Domains are created from parallel experiment runs; ids must stay
+   unique across worker domains, so the counter is atomic. *)
+let next_id = Atomic.make 0
 
 let create ?(weight = 256) ?(is_dom0 = false) ?(vcpus = 1) ~name ~credit_pct workload =
   if credit_pct < 0.0 || credit_pct > 100.0 then
     invalid_arg "Domain.create: credit out of [0, 100]";
   if weight <= 0 then invalid_arg "Domain.create: weight must be positive";
   if vcpus < 1 then invalid_arg "Domain.create: vcpus must be >= 1";
-  incr next_id;
   {
-    id = !next_id;
+    id = Atomic.fetch_and_add next_id 1 + 1;
     name;
     initial_credit = credit_pct;
     weight;

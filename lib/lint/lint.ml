@@ -406,6 +406,56 @@ let assert_false_issues ~file lines_code lines_raw =
   !issues
 
 (* ------------------------------------------------------------------ *)
+(* Rule: new [Hashtbl.create] without an iteration-order comment.  The
+   effect pass flags hash-order {e iteration} reachable from simulation
+   entry points; this rule makes the discipline explicit at construction
+   time — a table is fine if someone wrote down that it is lookup-only
+   (or sorted before iteration). *)
+
+let hashtbl_create_issues ~file lines_code lines_raw =
+  let issues = ref [] in
+  let needle = "Hashtbl.create" in
+  let m = String.length needle in
+  Array.iteri
+    (fun ln line ->
+      let n = String.length line in
+      let rec scan i =
+        if i + m <= n then
+          if
+            String.sub line i m = needle
+            && (i = 0 || (not (is_ident_char line.[i - 1]) && line.[i - 1] <> '.'))
+          then begin
+            let documented =
+              let has k =
+                k >= 0
+                && k < Array.length lines_raw
+                &&
+                let lower = String.lowercase_ascii lines_raw.(k) in
+                contains_sub lower "deterministic" || contains_sub lower "hash-order"
+              in
+              has ln || has (ln - 1) || has (ln - 2)
+            in
+            if not documented then
+              issues :=
+                {
+                  file;
+                  line = ln + 1;
+                  rule = "hashtbl-create";
+                  message =
+                    "Hashtbl.create without a nearby (* deterministic: … *) or \
+                     hash-order comment: iteration order is seed/history-dependent — \
+                     say the table is lookup-only (or sorted before iteration), or \
+                     use an assoc list / Map";
+                }
+                :: !issues
+          end
+          else scan (i + 1)
+      in
+      scan 0)
+    lines_code;
+  !issues
+
+(* ------------------------------------------------------------------ *)
 (* Rule: undocumented mutable field in an interface. *)
 
 let mutable_doc_issues ~file lines_code lines_raw =
@@ -451,6 +501,7 @@ let lint_source ~file content =
       float_eq_issues ~file lines_code
       @ random_issues ~file lines_code
       @ assert_false_issues ~file lines_code lines_raw
+      @ hashtbl_create_issues ~file lines_code lines_raw
   in
   (* The waiver marker exempts a line from every rule. *)
   Report.drop_waived ~source:content issues

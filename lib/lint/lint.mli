@@ -19,6 +19,12 @@
     - [mutable-doc]: a [mutable] field exposed in an [.mli] without an
       adjacent doc comment; exposed mutability is an API contract and must
       be documented.
+    - [hashtbl-create]: [Hashtbl.create] without a nearby comment (same
+      line or the two above) containing "deterministic" or "hash-order".
+      Hashtbl iteration order depends on hash seeding and insertion
+      history — the AST effect pass flags simulation-reachable iteration
+      ([effect-nondet]); this rule makes the discipline explicit where
+      the table is built (lookup-only tables are fine, say so).
 
     The old text-based [experiment-state] rule is subsumed by the AST
     domain-safety pass in [lib/staticcheck] (rules [experiment-state] and

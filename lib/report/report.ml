@@ -19,14 +19,74 @@ let contains_sub line sub =
   let rec loop i = i + m <= n && (String.sub line i m = sub || loop (i + 1)) in
   m > 0 && loop 0
 
-let drop_waived ~source issues =
+let find_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec loop i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some i
+    else loop (i + 1)
+  in
+  if m = 0 then None else loop 0
+
+(* File-scoped symbol waivers: [lint:ignore RULE @Path] anywhere in the
+   file waives RULE for that symbol, under whatever spelling the checker
+   supplies (canonical key or module-alias path).  The interprocedural
+   passes report at declaration sites possibly far from where the author
+   decided the state is fine, so a line waiver is not always placeable. *)
+let symbol_waivers source =
+  let strip_token t =
+    let stop = ref (String.length t) in
+    (try
+       String.iteri
+         (fun i c ->
+           match c with
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '\'' | '-' -> ()
+           | _ ->
+               stop := i;
+               raise Exit)
+         t
+     with Exit -> ());
+    String.sub t 0 !stop
+  in
+  List.concat_map
+    (fun line ->
+      match find_sub line waiver with
+      | None -> []
+      | Some i -> (
+          let rest =
+            String.sub line
+              (i + String.length waiver)
+              (String.length line - i - String.length waiver)
+          in
+          let tokens =
+            String.split_on_char ' ' rest |> List.filter (fun t -> t <> "")
+          in
+          match tokens with
+          | rule :: sym :: _ when String.length sym > 1 && sym.[0] = '@' ->
+              let rule = strip_token rule in
+              let sym =
+                strip_token (String.sub sym 1 (String.length sym - 1))
+              in
+              if rule = "" || sym = "" then [] else [ (rule, sym) ]
+          | _ -> []))
+    (String.split_on_char '\n' source)
+
+let drop_waived ?(symbols = fun _ -> []) ~source issues =
   let lines = Array.of_list (String.split_on_char '\n' source) in
+  let sym_waivers = symbol_waivers source in
   List.filter
     (fun i ->
       let raw =
         if i.line >= 1 && i.line - 1 < Array.length lines then lines.(i.line - 1) else ""
       in
-      not (contains_sub raw waiver))
+      let line_waived = contains_sub raw waiver in
+      let symbol_waived =
+        sym_waivers <> []
+        && List.exists
+             (fun s -> List.mem (i.rule, s) sym_waivers)
+             (symbols i)
+      in
+      not (line_waived || symbol_waived))
     issues
 
 let read_file path =

@@ -19,8 +19,18 @@ val pp_issue : Format.formatter -> issue -> unit
 val sort : issue list -> issue list
 (** By file, then line, then rule. *)
 
-val drop_waived : source:string -> issue list -> issue list
-(** Removes issues whose raw source line contains {!waiver}. *)
+val drop_waived :
+  ?symbols:(issue -> string list) -> source:string -> issue list -> issue list
+(** Removes issues whose raw source line contains {!waiver}.
+
+    When [symbols] is given, the file is additionally scanned for
+    file-scoped symbol waivers of the form [lint:ignore RULE @Path]
+    (anywhere in the file): an issue is dropped when such a waiver's rule
+    matches the issue's rule and its path matches {e any} spelling the
+    checker supplies via [symbols issue] — so a waiver written against a
+    re-exported module-alias path (e.g. [@Analysis.Config.collected])
+    matches the canonical declaration ([@Config.collected]) and vice
+    versa, provided the checker lists both spellings. *)
 
 val read_file : string -> string
 (** Whole file, binary-exact. *)

@@ -167,6 +167,7 @@ type t = {
   jobs : int;
   host_domains : int;
   total_seconds : float;
+  analyze_seconds : float; (* 0 when the manifest has no analyzer timing *)
   experiments : experiment list;
 }
 
@@ -221,6 +222,9 @@ let of_string text =
     jobs = int_of_float (num_field ~default:1.0 root "jobs");
     host_domains = int_of_float (num_field ~default:1.0 root "host_domains");
     total_seconds = num_field ~default:0.0 root "total_seconds";
+    (* Optional in both schemas: a manifest written without @analyze
+       timing (older trajectory files, manual runs) loads as 0. *)
+    analyze_seconds = num_field ~default:0.0 root "analyze_seconds";
     experiments;
   }
 
@@ -229,6 +233,20 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* The analyzer timing side-file written by [analyze_main --timing]. *)
+let read_analyze_timing path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let root = parse_json text in
+  let schema = str_field root "schema" in
+  if not (String.equal schema "dvfs-analyze-timing/1") then
+    parse_error "unsupported analyze-timing schema %S" schema;
+  num_field root "analyze_seconds"
 
 let total_alloc_mb t =
   List.fold_left (fun acc e -> acc +. e.alloc_mb) 0.0 t.experiments
@@ -260,6 +278,8 @@ let diff ?(tolerance = 1.5) ~baseline ~current () =
   in
   check "(total)" "total_seconds" ~floor:seconds_floor ~old_v:baseline.total_seconds
     ~new_v:current.total_seconds;
+  check "(total)" "analyze_seconds" ~floor:seconds_floor
+    ~old_v:baseline.analyze_seconds ~new_v:current.analyze_seconds;
   List.iter
     (fun (b : experiment) ->
       match List.find_opt (fun e -> String.equal e.id b.id) current.experiments with

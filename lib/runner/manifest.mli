@@ -33,6 +33,9 @@ type t = {
   jobs : int;
   host_domains : int;
   total_seconds : float;
+  analyze_seconds : float;
+      (** wall time of the [@analyze] static-analysis build, [0.] when the
+          manifest carries no analyzer timing (older trajectory files) *)
   experiments : experiment list;
 }
 
@@ -47,6 +50,12 @@ val load : string -> t
 val total_alloc_mb : t -> float
 (** Sum of [alloc_mb] over all experiments. *)
 
+val read_analyze_timing : string -> float
+(** Reads the [analyze_seconds] value from a [dvfs-analyze-timing/1]
+    side-file (written by [analyze_main --timing]).
+    @raise Parse_error on malformed or unsupported input.
+    @raise Sys_error when the file cannot be read. *)
+
 (** A metric that grew beyond the tolerance between two manifests. *)
 type regression = {
   exp_id : string;  (** experiment id, or ["(total)"] for run-wide metrics *)
@@ -60,7 +69,9 @@ val diff : ?tolerance:float -> baseline:t -> current:t -> unit -> regression lis
 (** Metrics of [current] that exceed [baseline] by more than [tolerance]
     (a ratio; default [1.5], i.e. 50% head-room).  Compared per experiment
     present in both manifests with status ["ok"]: [seconds] and [alloc_mb],
-    plus the run-wide [total_seconds].  Baseline values below a small noise
+    plus the run-wide [total_seconds] and [analyze_seconds] (the analyzer
+    wall-time gate; skipped when either side carries no timing, since [0.]
+    is below the noise floor).  Baseline values below a small noise
     floor are skipped, so sub-50ms experiments never trip the gate on
     scheduling jitter.  Experiments present on only one side are ignored —
     registry growth must not fail the perf gate.

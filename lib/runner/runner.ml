@@ -37,29 +37,33 @@ let default_pool_size () =
           invalid_arg (Printf.sprintf "Runner: %s must be a positive integer, got %S" jobs_env_var s))
   | None -> Stdlib.Domain.recommended_domain_count ()
 
-let now () = Unix.gettimeofday ()
+(* Wall clock, CPU clock and GC counters below feed timing metadata only
+   (job seconds/alloc in reports and manifests); [strip_timings] zeroes
+   them before any byte-for-byte comparison, so they are deliberately
+   waived from the determinism effect pass. *)
+let now () = Unix.gettimeofday () (* lint:ignore effect-nondet: timing metadata *)
 
 (* One experiment, in whatever domain picked it up.  Everything the caller
    needs — including the rendered report and the failure, if any — comes
    back as an immutable [job]; an exception must never escape, or it would
    take the whole worker (and its remaining share of the queue) with it. *)
 let run_job ~scale (e : Experiment.t) =
-  let t0 = now () and c0 = Sys.time () and a0 = Gc.allocated_bytes () in
-  let g0 = Gc.quick_stat () in
+  let t0 = now () and c0 = Sys.time () and a0 = Gc.allocated_bytes () in (* lint:ignore effect-nondet: timing metadata *)
+  let g0 = Gc.quick_stat () in (* lint:ignore effect-nondet: timing metadata *)
   let status, rows, rendered =
     match Experiment.run e ~scale with
     | output ->
         (Done, Sim_engine.Table.row_count output.Experiment.summary, Experiment.print_to_string output)
     | exception exn -> (Failed (Printexc.to_string exn), 0, "")
   in
-  let g1 = Gc.quick_stat () in
+  let g1 = Gc.quick_stat () in (* lint:ignore effect-nondet: timing metadata *)
   {
     id = e.Experiment.id;
     title = e.Experiment.title;
     status;
     seconds = now () -. t0;
-    cpu_seconds = Sys.time () -. c0;
-    alloc_mb = (Gc.allocated_bytes () -. a0) /. 1_048_576.0;
+    cpu_seconds = Sys.time () -. c0; (* lint:ignore effect-nondet: timing metadata *)
+    alloc_mb = (Gc.allocated_bytes () -. a0) /. 1_048_576.0; (* lint:ignore effect-nondet: timing metadata *)
     minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
     major_words = g1.Gc.major_words -. g0.Gc.major_words;
     rows;
@@ -135,7 +139,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let manifest_json ?(strip_timings = false) r =
+let manifest_json ?(strip_timings = false) ?analyze_seconds r =
   let buf = Buffer.create 2048 in
   let time v = if strip_timings then 0.0 else v in
   Buffer.add_string buf "{\n";
@@ -145,6 +149,12 @@ let manifest_json ?(strip_timings = false) r =
   Buffer.add_string buf
     (Printf.sprintf "  \"host_domains\": %d,\n" (Stdlib.Domain.recommended_domain_count ()));
   Buffer.add_string buf (Printf.sprintf "  \"total_seconds\": %.3f,\n" (time r.total_seconds));
+  (* Optional key, still schema /2: manifests written without analyzer
+     timing stay byte-identical to what PR 4 produced. *)
+  Option.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "  \"analyze_seconds\": %.3f,\n" (time s)))
+    analyze_seconds;
   Buffer.add_string buf "  \"experiments\": [\n";
   List.iteri
     (fun i j ->
@@ -163,11 +173,11 @@ let manifest_json ?(strip_timings = false) r =
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
-let save_manifest ?strip_timings r ~path =
+let save_manifest ?strip_timings ?analyze_seconds r ~path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (manifest_json ?strip_timings r))
+    (fun () -> output_string oc (manifest_json ?strip_timings ?analyze_seconds r))
 
 let print_outputs ppf r =
   List.iter

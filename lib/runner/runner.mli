@@ -58,13 +58,17 @@ val run_all :
     (default: {!default_pool_size}, capped at the number of experiments).
     @raise Invalid_argument on a non-positive [pool_size] or [scale]. *)
 
-val manifest_json : ?strip_timings:bool -> report -> string
+val manifest_json : ?strip_timings:bool -> ?analyze_seconds:float -> report -> string
 (** JSON manifest (schema [dvfs-bench-manifest/2], which extends [/1] with
     per-experiment [minor_words]/[major_words]; {!Manifest} reads both).
-    With [~strip_timings:true] every timing/allocation field is zeroed,
-    making manifests of identical registry runs byte-comparable. *)
+    [analyze_seconds] adds the optional static-analyzer wall-time key
+    ({!Manifest} reads it back; manifests written without it are unchanged
+    byte-for-byte, so old baselines stay comparable).  With
+    [~strip_timings:true] every timing/allocation field is zeroed, making
+    manifests of identical registry runs byte-comparable. *)
 
-val save_manifest : ?strip_timings:bool -> report -> path:string -> unit
+val save_manifest :
+  ?strip_timings:bool -> ?analyze_seconds:float -> report -> path:string -> unit
 
 val print_outputs : Format.formatter -> report -> unit
 (** Every job's rendered experiment output, registry order; failed jobs

@@ -1,354 +1,60 @@
-open Parsetree
-module S = Set.Make (String)
+open Ast_util
 
-let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
-
-let rec flatten (l : Longident.t) =
-  match l with
-  | Longident.Lident s -> Some [ s ]
-  | Longident.Ldot (l, s) -> Option.map (fun p -> p @ [ s ]) (flatten l)
-  | Longident.Lapply _ -> None
-
-let strip_stdlib = function "Stdlib" :: (_ :: _ as rest) -> rest | p -> p
-
-let ident_path e =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> Option.map strip_stdlib (flatten txt)
-  | _ -> None
-
-let dotted = String.concat "."
-
-(* ------------------------------------------------------------------ *)
-(* Mutable-state constructors.  Synchronized state (atomics, mutexes,
-   arrays whose every cell is an atomic) is recorded but never flagged. *)
-
-let unsync_ctors =
-  [
-    [ "ref" ];
-    [ "Hashtbl"; "create" ];
-    [ "Queue"; "create" ];
-    [ "Stack"; "create" ];
-    [ "Buffer"; "create" ];
-    [ "Array"; "make" ];
-    [ "Array"; "init" ];
-    [ "Array"; "create_float" ];
-    [ "Array"; "make_matrix" ];
-    [ "Bytes"; "create" ];
-    [ "Bytes"; "make" ];
-  ]
-
-let sync_ctors =
-  [
-    [ "Atomic"; "make" ];
-    [ "Mutex"; "create" ];
-    [ "Condition"; "create" ];
-    [ "Semaphore"; "Counting"; "make" ];
-    [ "Semaphore"; "Binary"; "make" ];
-  ]
-
-(* [Some (ctor, synchronized)] when [e] constructs mutable state. *)
-let rec mutable_ctor e =
-  match e.pexp_desc with
-  | Pexp_constraint (e, _) -> mutable_ctor e
-  | Pexp_array (_ :: _) -> Some ("[| … |]", false)
-  | Pexp_apply (f, args) -> (
-      match ident_path f with
-      | None -> None
-      | Some p ->
-          if List.mem p sync_ctors then Some (dotted p, true)
-          else if List.mem p unsync_ctors then
-            let cell_sync =
-              (* [Array.make n (Atomic.make …)] or
-                 [Array.init n (fun _ -> Atomic.make …)]: the array itself
-                 is only written at creation; the cells synchronize. *)
-              (p = [ "Array"; "make" ] || p = [ "Array"; "init" ])
-              && List.exists
-                   (fun (_, a) ->
-                     let cell =
-                       match a.pexp_desc with
-                       | Pexp_fun (_, _, _, body) -> body
-                       | _ -> a
-                     in
-                     match mutable_ctor cell with
-                     | Some (_, true) -> true
-                     | _ -> false)
-                   args
-            in
-            Some (dotted p, cell_sync)
-          else None)
-  | _ -> None
-
-(* ------------------------------------------------------------------ *)
-(* What the file declares: structure-level mutable roots (at any module
-   nesting depth), module aliases, structure-level value bindings (the
-   reachability graph's nodes), mutable record fields. *)
-
-type root = { rline : int; rkind : string; rsync : bool }
-
-type decls = {
-  mutable roots : (string * root) list;  (** dotted path -> root *)
-  mutable aliases : (string list * string list) list;
-  mutable funs : (string * expression) list;  (** dotted path -> rhs *)
-  mutable fields : int list;  (** lines of [mutable] record fields *)
-}
-
-let rec scan_structure prefix decls str =
-  List.iter
-    (fun item ->
-      match item.pstr_desc with
-      | Pstr_value (_, vbs) ->
-          List.iter
-            (fun vb ->
-              match vb.pvb_pat.ppat_desc with
-              | Ppat_var { txt = name; _ } -> (
-                  let path = prefix @ [ name ] in
-                  match mutable_ctor vb.pvb_expr with
-                  | Some (kind, sync) ->
-                      decls.roots <-
-                        ( dotted path,
-                          { rline = line_of vb.pvb_loc; rkind = kind; rsync = sync } )
-                        :: decls.roots
-                  | None -> decls.funs <- (dotted path, vb.pvb_expr) :: decls.funs)
-              | _ -> ())
-            vbs
-      | Pstr_module mb -> scan_module prefix decls mb
-      | Pstr_recmodule mbs -> List.iter (scan_module prefix decls) mbs
-      | Pstr_type (_, tds) ->
-          List.iter
-            (fun td ->
-              match td.ptype_kind with
-              | Ptype_record fields ->
-                  List.iter
-                    (fun f ->
-                      if f.pld_mutable = Asttypes.Mutable then
-                        decls.fields <- line_of f.pld_loc :: decls.fields)
-                    fields
-              | _ -> ())
-            tds
-      | _ -> ())
-    str
-
-and scan_module prefix decls mb =
-  match mb.pmb_name.Asttypes.txt with
-  | None -> ()
-  | Some name -> (
-      let rec strip me =
-        match me.pmod_desc with Pmod_constraint (me, _) -> strip me | _ -> me
-      in
-      match (strip mb.pmb_expr).pmod_desc with
-      | Pmod_structure str -> scan_structure (prefix @ [ name ]) decls str
-      | Pmod_ident { txt; _ } -> (
-          match flatten txt with
-          | Some target -> decls.aliases <- (prefix @ [ name ], target) :: decls.aliases
-          | None -> ())
-      | _ -> ())
-
-(* Chase module aliases: rewrite the longest alias prefix of [path],
-   bounded so alias cycles cannot loop. *)
-let resolve aliases path =
-  let rec prefix_of a p =
-    match (a, p) with
-    | [], rest -> Some rest
-    | x :: xs, y :: ys when String.equal x y -> prefix_of xs ys
-    | _ -> None
-  in
-  let step path =
-    List.fold_left
-      (fun best (a, target) ->
-        match (best, prefix_of a path) with
-        | Some _, _ -> best
-        | None, Some rest when rest <> [] -> Some (target @ rest)
-        | None, _ -> None)
-      None aliases
-  in
-  let rec chase path fuel =
-    if fuel = 0 then path
-    else match step path with Some path' -> chase path' (fuel - 1) | None -> path
-  in
-  chase path 8
-
-(* ------------------------------------------------------------------ *)
-(* Free identifiers of an expression: every referenced path whose head is
-   not locally bound.  References made under [Mutex.protect] are skipped —
-   that capture is synchronized by construction. *)
-
-let pat_vars p =
-  let vs = ref S.empty in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      pat =
-        (fun it p ->
-          (match p.ppat_desc with
-          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) -> vs := S.add txt !vs
-          | _ -> ());
-          Ast_iterator.default_iterator.pat it p);
-    }
-  in
-  it.pat it p;
-  !vs
-
-let is_mutex_protect f =
-  match ident_path f with Some [ "Mutex"; "protect" ] -> true | _ -> false
-
-let free_paths expr =
-  let acc = ref [] in
-  let env = ref S.empty in
-  let rec handler iter e =
-    match e.pexp_desc with
-    | Pexp_ident { txt; _ } -> (
-        match flatten txt with
-        | Some [ x ] when S.mem x !env -> ()
-        | Some p -> acc := strip_stdlib p :: !acc
-        | None -> ())
-    | Pexp_let (rf, vbs, body) ->
-        let saved = !env in
-        let bound =
-          List.fold_left (fun s vb -> S.union s (pat_vars vb.pvb_pat)) S.empty vbs
-        in
-        if rf = Asttypes.Recursive then env := S.union saved bound;
-        List.iter (fun vb -> iter.Ast_iterator.expr iter vb.pvb_expr) vbs;
-        env := S.union saved bound;
-        iter.Ast_iterator.expr iter body;
-        env := saved
-    | Pexp_fun (_, default, pat, body) ->
-        let saved = !env in
-        Option.iter (iter.Ast_iterator.expr iter) default;
-        env := S.union saved (pat_vars pat);
-        iter.Ast_iterator.expr iter body;
-        env := saved
-    | Pexp_function cases -> cases_handler iter cases
-    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
-        iter.Ast_iterator.expr iter scrut;
-        cases_handler iter cases
-    | Pexp_for (pat, lo, hi, _, body) ->
-        let saved = !env in
-        iter.Ast_iterator.expr iter lo;
-        iter.Ast_iterator.expr iter hi;
-        env := S.union saved (pat_vars pat);
-        iter.Ast_iterator.expr iter body;
-        env := saved
-    | Pexp_apply (f, _) when is_mutex_protect f -> ()
-    | _ -> Ast_iterator.default_iterator.expr iter e
-  and cases_handler iter cases =
+(* Unsynchronized roots reachable from one spawn closure, through
+   structure-level and function-local helper bodies, module aliases
+   resolved.  [locals] is keyed by base name only: the walk can look
+   through [Domain.spawn worker] where [worker] is a [let] local to the
+   enclosing function. *)
+let reachable_roots ~decls ~locals closure =
+  let visited = ref [] and found = ref [] in
+  let rec visit paths =
     List.iter
-      (fun c ->
-        let saved = !env in
-        env := S.union saved (pat_vars c.pc_lhs);
-        Option.iter (iter.Ast_iterator.expr iter) c.pc_guard;
-        iter.Ast_iterator.expr iter c.pc_rhs;
-        env := saved)
-      cases
+      (fun p ->
+        let p = resolve decls.aliases p in
+        let key = dotted p in
+        if not (List.mem key !visited) then begin
+          visited := key :: !visited;
+          (match List.assoc_opt key decls.roots with
+          | Some r when not r.rsync ->
+              if not (List.mem_assoc key !found) then found := (key, r) :: !found
+          | Some _ | None -> ());
+          (match p with
+          | [ x ] -> (
+              (match List.assoc_opt x locals.local_roots with
+              | Some r when not r.rsync ->
+                  if not (List.mem_assoc x !found) then found := (x, r) :: !found
+              | Some _ | None -> ());
+              match List.assoc_opt x locals.local_funs with
+              | Some body -> visit (free_paths body)
+              | None -> ())
+          | _ -> ());
+          match List.assoc_opt key decls.funs with
+          | Some body -> visit (free_paths body)
+          | None -> ()
+        end)
+      paths
   in
-  let it = { Ast_iterator.default_iterator with expr = handler } in
-  it.expr it expr;
-  !acc
-
-(* ------------------------------------------------------------------ *)
-(* Spawn sites and function-local mutable bindings, anywhere in the file. *)
-
-let is_spawn path =
-  let rec last2 = function
-    | [ a; b ] -> Some (a, b)
-    | _ :: rest -> last2 rest
-    | [] -> None
-  in
-  match last2 path with
-  | Some ("Domain", "spawn") | Some ("Thread", "create") -> true
-  | _ -> false
-
-let scan_expressions str =
-  let spawns = ref [] and local_roots = ref [] in
-  let local_fun_bodies = Hashtbl.create 8 in
-  let handler iter e =
-    (match e.pexp_desc with
-    | Pexp_let (_, vbs, _) ->
-        List.iter
-          (fun vb ->
-            match vb.pvb_pat.ppat_desc with
-            | Ppat_var { txt = name; _ } -> (
-                match mutable_ctor vb.pvb_expr with
-                | Some (kind, sync) ->
-                    local_roots :=
-                      ( name,
-                        { rline = line_of vb.pvb_loc; rkind = kind; rsync = sync } )
-                      :: !local_roots
-                | None -> (
-                    match vb.pvb_expr.pexp_desc with
-                    | Pexp_fun _ | Pexp_function _ ->
-                        if not (Hashtbl.mem local_fun_bodies name) then
-                          Hashtbl.add local_fun_bodies name vb.pvb_expr
-                    | _ -> ()))
-            | _ -> ())
-          vbs
-    | Pexp_apply (f, args) -> (
-        match ident_path f with
-        | Some p when is_spawn p -> (
-            match List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args with
-            | Some (_, closure) -> spawns := (line_of e.pexp_loc, closure) :: !spawns
-            | None -> ())
-        | _ -> ())
-    | _ -> ());
-    Ast_iterator.default_iterator.expr iter e
-  in
-  let it = { Ast_iterator.default_iterator with expr = handler } in
-  it.structure it str;
-  (!spawns, !local_roots, local_fun_bodies)
-
-(* ------------------------------------------------------------------ *)
-
-let in_experiments path =
-  List.exists (String.equal "experiments") (String.split_on_char '/' path)
+  visit (free_paths closure);
+  List.rev !found
 
 let check ~file str =
-  let decls = { roots = []; aliases = []; funs = []; fields = [] } in
-  scan_structure [] decls str;
-  (* [local_roots]/[local_fun_bodies] are keyed by base name only: the
-     reachability walk can look through [Domain.spawn worker] where
-     [worker] is a [let] local to the enclosing function. *)
-  let spawns, local_roots, local_fun_bodies = scan_expressions str in
+  let decls = scan_structure str in
+  let locals = scan_expressions str in
   let issues = ref [] in
   let flag line rule message = issues := { Report.file; line; rule; message } :: !issues in
   (* --- domain-capture: reachability from every spawn closure --- *)
   List.iter
     (fun (spawn_line, closure) ->
-      let visited = Hashtbl.create 8 and found = Hashtbl.create 8 in
-      let rec visit paths =
-        List.iter
-          (fun p ->
-            let p = resolve decls.aliases p in
-            let key = dotted p in
-            if not (Hashtbl.mem visited key) then begin
-              Hashtbl.add visited key ();
-              (match List.assoc_opt key decls.roots with
-              | Some r when not r.rsync -> Hashtbl.replace found (key, r.rline) r
-              | Some _ | None -> ());
-              (match p with
-              | [ x ] -> (
-                  (match List.assoc_opt x local_roots with
-                  | Some r when not r.rsync -> Hashtbl.replace found (x, r.rline) r
-                  | Some _ | None -> ());
-                  match Hashtbl.find_opt local_fun_bodies x with
-                  | Some body -> visit (free_paths body)
-                  | None -> ())
-              | _ -> ());
-              match List.assoc_opt key decls.funs with
-              | Some body -> visit (free_paths body)
-              | None -> ()
-            end)
-          paths
-      in
-      visit (free_paths closure);
-      Hashtbl.iter
-        (fun (name, _) r ->
+      List.iter
+        (fun (name, r) ->
           flag spawn_line "domain-capture"
             (Printf.sprintf
                "closure spawned on a domain reaches unsynchronized mutable state %s \
                 (%s, line %d): share it through Atomic/Mutex or keep it inside the \
                 closure"
                name r.rkind r.rline))
-        found)
-    spawns;
+        (reachable_roots ~decls ~locals closure))
+    locals.spawns;
   (* --- experiment-state: structure-level mutable state in experiment
      modules, at any nesting depth --- *)
   if in_experiments file then begin
@@ -370,3 +76,14 @@ let check ~file str =
       decls.fields
   end;
   !issues
+
+(* The structure-level root keys this pass reports for [str] — the
+   lock-discipline pass suppresses its plain-unguarded finding for these,
+   so one bug does not surface under two rules. *)
+let captured_root_keys str =
+  let decls = scan_structure str in
+  let locals = scan_expressions str in
+  List.concat_map
+    (fun (_, closure) -> List.map fst (reachable_roots ~decls ~locals closure))
+    locals.spawns
+  |> List.sort_uniq String.compare

@@ -23,3 +23,9 @@
     The waiver filter is applied by the caller ([Staticcheck]). *)
 
 val check : file:string -> Parsetree.structure -> Report.issue list
+
+val captured_root_keys : Parsetree.structure -> string list
+(** The dotted structure-level root keys [check] would report under
+    [domain-capture] for this file, sorted.  {!Lock_check} consults this
+    to avoid double-reporting a plain-unguarded root that the capture
+    rule already flags. *)

@@ -1,0 +1,196 @@
+(* Interprocedural determinism-effect analysis.
+
+   Every structure-level binding is a call-graph node; nodes are
+   classified into an effect lattice
+
+       Pure  <  Seeded  <  Ambient  <  Nondet
+
+   where [Seeded] is randomness derived from the experiment seed
+   ([Prng.*] — deterministic by construction), [Ambient] is a read of the
+   host environment (env vars, filesystem, machine topology) and [Nondet]
+   is anything whose result varies run-to-run on the same host (wall
+   clock, global [Random], hash-order iteration, domain identity, GC
+   counters).  Effects propagate caller <- callee to a fixpoint; any
+   [Ambient]/[Nondet] primitive use reachable from a simulation entry
+   point is reported at the use site, with the full call chain from the
+   entry in the message.  A result produced only through [Pure] and
+   [Seeded] nodes is a pure function of (seed, scale) — the property the
+   sharded simulator needs. *)
+
+type effect_class = Pure | Seeded | Ambient | Nondet
+
+let class_name = function
+  | Pure -> "Pure"
+  | Seeded -> "SeededRandom"
+  | Ambient -> "Ambient"
+  | Nondet -> "Nondet"
+
+let rank = function Pure -> 0 | Seeded -> 1 | Ambient -> 2 | Nondet -> 3
+let join a b = if rank a >= rank b then a else b
+let leq a b = rank a <= rank b
+
+(* Least fixpoint of [eff i = join base(i) (join over edges (i,j) of
+   eff j)].  Kept as a standalone function over plain arrays so the
+   property tests can check monotonicity under edge addition directly. *)
+let solve ~n ~base ~edges =
+  let eff = Array.copy base in
+  ignore n;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (i, j) ->
+        let v = join eff.(i) eff.(j) in
+        if rank v > rank eff.(i) then begin
+          eff.(i) <- v;
+          changed := true
+        end)
+      edges
+  done;
+  eff
+
+(* Units whose insides are exempt: blessed configuration loaders read the
+   host on purpose, before simulation starts. *)
+let blessed_units = [ "Domconfig" ]
+
+let rec last2 = function
+  | [ a; b ] -> Some (a, b)
+  | _ :: rest -> last2 rest
+  | [] -> None
+
+(* Classification of a path that resolves to no scanned binding. *)
+let classify_external path =
+  if List.mem "Prng" path then Some (Seeded, "seed-derived randomness")
+  else
+    match path with
+    | "Random" :: _ -> Some (Nondet, "global Random state")
+    | [ ("open_in" | "open_in_bin") ] -> Some (Ambient, "file read")
+    | _ -> (
+        match last2 path with
+        | Some ("Random", _) -> Some (Nondet, "global Random state")
+        | Some ("Unix", ("gettimeofday" | "time")) | Some ("Sys", "time") ->
+            Some (Nondet, "wall-clock read")
+        | Some
+            ( "Hashtbl",
+              ("iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values") ) ->
+            Some (Nondet, "hash-order iteration")
+        | Some ("Domain", "self") -> Some (Nondet, "domain identity")
+        | Some
+            ( "Gc",
+              ( "stat" | "quick_stat" | "counters" | "allocated_bytes"
+              | "minor_words" | "major_words" ) ) ->
+            Some (Nondet, "GC counter read")
+        | Some (("Sys" | "Unix"), ("getenv" | "getenv_opt"))
+        | Some ("Unix", "environment") ->
+            Some (Ambient, "environment read")
+        | Some ("Sys", ("file_exists" | "readdir" | "is_directory" | "getcwd" | "command"))
+          ->
+            Some (Ambient, "host filesystem read")
+        | Some ("Domain", "recommended_domain_count") ->
+            Some (Ambient, "machine-topology read")
+        | _ -> None)
+
+type witness = { wclass : effect_class; wdesc : string; wpath : string; wline : int }
+
+let advice = function
+  | Nondet ->
+      "simulated results must be a pure function of (seed, scale) — derive \
+       randomness with Prng.derive, sort before iterating, or waive with (* \
+       lint:ignore effect-nondet: reason *)"
+  | _ ->
+      "hoist environment/host reads into the driver before jobs start, or waive \
+       with (* lint:ignore effect-ambient: reason *)"
+
+let check g =
+  (* deterministic: lookup-only tables keyed by node name, never iterated *)
+  let index = Hashtbl.create 256 in
+  let nodes =
+    Callgraph.fold_funs g [] (fun acc ~fkey ~funit ~body -> (fkey, funit, body) :: acc)
+    |> List.rev
+  in
+  List.iteri (fun i (k, _, _) -> Hashtbl.replace index k i) nodes;
+  let n = List.length nodes in
+  let base = Array.make n Pure in
+  let witnesses = Array.make n [] in
+  let edges = ref [] in
+  List.iteri
+    (fun i (_, funit, body) ->
+      List.iter
+        (fun (path, line) ->
+          if List.mem "Prng" path then
+            base.(i) <- join base.(i) Seeded
+          else
+            match Callgraph.resolve g ~cur:funit path with
+            | Callgraph.Fun { fkey; funit = tu; _ } ->
+                if not (List.mem tu.Callgraph.uname blessed_units) then (
+                  match Hashtbl.find_opt index fkey with
+                  | Some j -> if i <> j then edges := (i, j) :: !edges
+                  | None -> ())
+            | Callgraph.Root _ -> ()
+            | Callgraph.External p -> (
+                match classify_external p with
+                | Some (cls, desc) ->
+                    base.(i) <- join base.(i) cls;
+                    if rank cls >= rank Ambient then
+                      witnesses.(i) <-
+                        { wclass = cls; wdesc = desc; wpath = Ast_util.dotted p; wline = line }
+                        :: witnesses.(i)
+                | None -> ()))
+        (Ast_util.free_refs body))
+    nodes;
+  let eff = solve ~n ~base ~edges:!edges in
+  (* Multi-source BFS from the entry points (sorted, so the reported chain
+     is deterministic); parents give the shortest entry -> node chain. *)
+  let out = Array.make (max n 1) [] in
+  List.iter (fun (i, j) -> out.(i) <- j :: out.(i)) !edges;
+  Array.iteri (fun i l -> out.(i) <- List.sort_uniq compare l) out;
+  let parent = Array.make (max n 1) (-2) in
+  let q = Queue.create () in
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt index k with
+      | Some i when parent.(i) = -2 ->
+          parent.(i) <- -1;
+          Queue.add i q
+      | _ -> ())
+    (Callgraph.entry_keys g);
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    List.iter
+      (fun j ->
+        if parent.(j) = -2 then begin
+          parent.(j) <- i;
+          Queue.add j q
+        end)
+      out.(i)
+  done;
+  let name_of i = match List.nth nodes i with k, _, _ -> k in
+  let rec chain i acc =
+    let acc = name_of i :: acc in
+    if parent.(i) < 0 then acc else chain parent.(i) acc
+  in
+  let issues = ref [] in
+  List.iteri
+    (fun i (_, funit, _) ->
+      (* a reached node's direct witnesses are exactly what lifted its
+         fixpoint class above Seeded, so reporting them covers [eff] *)
+      if parent.(i) >= -1 && rank eff.(i) >= rank Ambient then
+        List.iter
+          (fun w ->
+            let rule =
+              if w.wclass = Nondet then "effect-nondet" else "effect-ambient"
+            in
+            let trail = String.concat " → " (chain i []) in
+            issues :=
+              {
+                Report.file = funit.Callgraph.ufile;
+                line = w.wline;
+                rule;
+                message =
+                  Printf.sprintf "%s (%s) reached from simulation entry via %s: %s"
+                    w.wpath w.wdesc trail (advice w.wclass);
+              }
+              :: !issues)
+          witnesses.(i))
+    nodes;
+  List.sort_uniq compare !issues

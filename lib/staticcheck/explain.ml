@@ -1,0 +1,107 @@
+(* Rule documentation behind [analyze_main --explain RULE].  One entry
+   per rule either checker (text lint or AST analyzer) can emit, so the
+   CI log's rule id is always one command away from its rationale and
+   its waiver spelling. *)
+
+let rules =
+  [
+    ( "parse-error",
+      "The file is not parseable as OCaml, so no AST pass ran on it.\n\
+       Fix the syntax error; the analyzer reports the parser's location." );
+    ( "unit-arith",
+      "Arithmetic or comparison mixes two different units of measure\n\
+       (for example seconds + joules), inferred from the _s/_j/_pct/_mhz…\n\
+       suffix vocabulary and the .mli registry.\n\
+       Fix: convert explicitly, or rename a misleading binding.\n\
+       Waive: (* lint:ignore unit-arith: reason *) on the flagged line." );
+    ( "unit-call",
+      "An argument's inferred unit contradicts the unit the callee's\n\
+       signature (Equations, Pas_sched, Cpufreq, …) declares for that\n\
+       position.  Fix the value or the name; waive with\n\
+       (* lint:ignore unit-call: reason *)." );
+    ( "unit-binding",
+      "A binding's name suffix contradicts the unit of its right-hand\n\
+       side (let power_j = …_watts).  Rename one side, or waive with\n\
+       (* lint:ignore unit-binding: reason *)." );
+    ( "domain-capture",
+      "A closure passed to Domain.spawn/Thread.create reaches\n\
+       unsynchronized mutable state declared outside it (directly,\n\
+       through aliases, or through same-unit helper calls).  Two domains\n\
+       mutating that state race.\n\
+       Fix: share it through Atomic/Mutex, or keep it closure-local.\n\
+       References under Mutex.protect are already exempt." );
+    ( "experiment-state",
+      "A module under experiments/ declares structure-level mutable\n\
+       state or a mutable record field.  Experiment run closures execute\n\
+       on arbitrary runner domains in arbitrary order; module-level\n\
+       state makes runs order-dependent.\n\
+       Fix: move the state inside the run closure." );
+    ( "effect-nondet",
+      "Code reachable from a simulation entry point (Runner.run_job,\n\
+       Registry.all, Experiment.run, experiments/*) uses a primitive\n\
+       whose result varies run to run: wall clock (Unix.gettimeofday,\n\
+       Sys.time), global Random, hash-order iteration (Hashtbl.iter/\n\
+       fold/to_seq), Domain.self, or GC counters.  Simulated results\n\
+       must be a pure function of (seed, scale) or shard outputs can\n\
+       never be compared.\n\
+       The message shows the full entry → … → use call chain.\n\
+       Fix: derive randomness with Prng.derive, sort before iterating,\n\
+       hoist timing into the driver; waive a deliberate use with\n\
+       (* lint:ignore effect-nondet: reason *) on the use site." );
+    ( "effect-ambient",
+      "Code reachable from a simulation entry point reads the host\n\
+       environment: env vars (Sys.getenv), the filesystem (open_in,\n\
+       Sys.readdir, …) or machine topology\n\
+       (Domain.recommended_domain_count) outside the blessed config\n\
+       loaders.  Same-seed runs on two hosts may then diverge.\n\
+       Fix: read the host once in the driver and pass values in; waive\n\
+       with (* lint:ignore effect-ambient: reason *) on the use site." );
+    ( "lock-discipline",
+      "A structure-level mutable root shared with parallel code has no\n\
+       consistent guarding discipline: accesses mix Mutex.protect and\n\
+       bare use, use two different mutexes, or are entirely unguarded\n\
+       (and not Atomic, not read-only, not already reported by\n\
+       domain-capture).  Reported at the declaration line.\n\
+       Fix: guard every access with one mutex or switch to Atomic.\n\
+       Waive for one root, file-scoped, under any of its spellings:\n\
+       (* lint:ignore lock-discipline @Config.collected *)." );
+    ( "float-eq",
+      "Floating-point = or <> comparison; simulator quantities are\n\
+       accumulated floats, exact comparison is order-dependent.\n\
+       Fix: compare against a tolerance.\n\
+       Waive: (* lint:ignore float-eq: reason *)." );
+    ( "random",
+      "Direct use of the global Random module; the parallel runner\n\
+       requires experiment-keyed determinism.\n\
+       Fix: use Prng.derive / Prng.derive_seed." );
+    ( "assert-false",
+      "assert false without an adjacent (* unreachable: … *) comment\n\
+       explaining why the branch cannot happen." );
+    ( "mutable-doc",
+      "A mutable field or ref lacks the ownership comment that says\n\
+       which domain/lock owns it." );
+    ( "missing-mli",
+      "A library module has no interface file; every lib/ module ships\n\
+       a .mli so the public surface is deliberate." );
+    ( "hashtbl-create",
+      "A new Hashtbl.create without a nearby comment (same line or the\n\
+       two lines above) containing \"deterministic\" or \"hash-order\"\n\
+       acknowledging iteration-order discipline.  Hashtbl iteration\n\
+       order depends on hash seeding and insertion history, which the\n\
+       effect pass flags when simulation-reachable (effect-nondet);\n\
+       lookup-only tables are fine — say so in the comment.\n\
+       Fix: add e.g. (* deterministic: lookup-only, never iterated *),\n\
+       or use an assoc list / Map for iterated collections." );
+  ]
+
+let find rule = List.assoc_opt rule rules
+
+let explain rule =
+  match find rule with
+  | Some text ->
+      Printf.printf "%s\n\n%s\n" rule text;
+      0
+  | None ->
+      Printf.eprintf "unknown rule %S; known rules:\n" rule;
+      List.iter (fun (r, _) -> Printf.eprintf "  %s\n" r) rules;
+      2

@@ -1,0 +1,21 @@
+(** Interprocedural lock-discipline inference.
+
+    Infers, for every structure-level unsynchronized mutable root shared
+    with parallel code (reachable from a spawn closure or a simulation
+    entry point), the guarding discipline of its access sites: one mutex
+    for every access (consistent), mixed guarded/bare access, two or more
+    different mutexes, or no discipline at all.  Read-only tables (no
+    syntactic write anywhere) and [Atomic]/[Mutex] state are exempt;
+    plain-unguarded roots already reported by the per-file
+    [domain-capture] rule are suppressed so one bug surfaces under one
+    rule.
+
+    Rule: [lock-discipline], reported at the root's declaration line.
+
+    The second component maps each returned issue to every source
+    spelling of its root (canonical [Unit.path] key, in-unit path,
+    alias-qualified uses) — feed it to [Report.drop_waived ~symbols] so a
+    file-scoped [lint:ignore lock-discipline @Path] waiver matches
+    whichever spelling the author writes. *)
+
+val check : Callgraph.t -> Report.issue list * (Report.issue -> string list)

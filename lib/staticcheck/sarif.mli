@@ -9,3 +9,22 @@ val to_string : tool:string -> Report.issue list -> string
 (** The complete SARIF document, valid JSON. *)
 
 val save : tool:string -> Report.issue list -> path:string -> unit
+
+val of_string : string -> Report.issue list
+(** Parses a SARIF document (hand-rolled JSON reader, no external
+    dependency) back into issues — every result of every run.  Raises
+    [Failure] on malformed input. *)
+
+val load : string -> Report.issue list
+(** {!of_string} on a file. *)
+
+type diff = {
+  fresh : Report.issue list;  (** in current but not in the baseline *)
+  suppressed : int;  (** current findings matched by the baseline *)
+  stale : int;  (** baseline entries no longer found (fixed) *)
+}
+
+val diff_baseline : baseline:Report.issue list -> current:Report.issue list -> diff
+(** Matches findings by (file, rule, message), deliberately ignoring the
+    line so unrelated edits that shift a waived legacy finding do not
+    break CI.  Only [fresh] findings should fail a gated build. *)

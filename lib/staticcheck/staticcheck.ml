@@ -1,6 +1,11 @@
 module Units = Units
 module Unit_check = Unit_check
 module Domain_check = Domain_check
+module Ast_util = Ast_util
+module Callgraph = Callgraph
+module Effect_check = Effect_check
+module Lock_check = Lock_check
+module Explain = Explain
 module Sarif = Sarif
 
 let parse_with parser ~file content =
@@ -25,16 +30,41 @@ let parse_error_issue ~file exn =
 let module_name_of file =
   String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
 
-let analyze_source ?(registry = Units.builtin) ~file content =
-  if Filename.check_suffix file ".mli" then []
-  else
-    match parse_with Parse.implementation ~file content with
-    | exception exn -> [ parse_error_issue ~file exn ]
-    | str ->
-        let issues =
+(* Every pass over a set of sources: per-file unit-of-measure and
+   domain-safety checks, then the interprocedural effect and
+   lock-discipline passes over the call graph of all units together.
+   Waivers are applied per file — line waivers for everything, plus
+   file-scoped symbol waivers ([lint:ignore RULE @Path]) with the
+   spellings the lock pass supplies. *)
+let run_passes ~registry sources =
+  let parsed, errors =
+    List.fold_left
+      (fun (parsed, errors) (file, content) ->
+        match parse_with Parse.implementation ~file content with
+        | exception exn -> (parsed, parse_error_issue ~file exn :: errors)
+        | str -> ((file, content, str) :: parsed, errors))
+      ([], []) sources
+  in
+  let parsed = List.rev parsed in
+  let g = Callgraph.build (List.map (fun (f, _, str) -> (f, str)) parsed) in
+  let lock_issues, lock_symbols = Lock_check.check g in
+  let global = Effect_check.check g @ lock_issues in
+  let issues =
+    List.concat_map
+      (fun (file, content, str) ->
+        let per_file =
           Unit_check.check ~registry ~file str @ Domain_check.check ~file str
         in
-        Report.sort (Report.drop_waived ~source:content issues)
+        let of_this_file = List.filter (fun i -> i.Report.file = file) global in
+        Report.drop_waived ~symbols:lock_symbols ~source:content
+          (per_file @ of_this_file))
+      parsed
+  in
+  Report.sort (errors @ issues)
+
+let analyze_source ?(registry = Units.builtin) ~file content =
+  if Filename.check_suffix file ".mli" then []
+  else run_passes ~registry [ (file, content) ]
 
 let registry_of_paths roots =
   let files = Report.collect_sources roots in
@@ -51,11 +81,11 @@ let registry_of_paths roots =
 
 let analyze_paths roots =
   let registry = registry_of_paths roots in
-  let files = Report.collect_sources roots in
-  Report.sort
-    (List.concat_map
-       (fun file ->
-         if Filename.check_suffix file ".ml" then
-           analyze_source ~registry ~file (Report.read_file file)
-         else [])
-       files)
+  let sources =
+    List.filter_map
+      (fun file ->
+        if Filename.check_suffix file ".ml" then Some (file, Report.read_file file)
+        else None)
+      (Report.collect_sources roots)
+  in
+  run_passes ~registry sources

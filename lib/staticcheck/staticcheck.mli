@@ -2,36 +2,58 @@
 
     Where [lib/lint] pattern-matches blanked source text, this engine
     parses every compilation unit with the compiler's own parser
-    ([compiler-libs]) and runs structural passes with per-rule state over
-    the parsetree:
+    ([compiler-libs]) and runs structural passes over the parsetrees:
+
+    {b Per file}:
 
     - the {b unit-of-measure checker} ({!Unit_check}): [unit-arith],
       [unit-call], [unit-binding] — cross-unit arithmetic, comparisons,
-      mismatched arguments to the Eq. (1)–(4) entry points
-      ([Equations], [Pas_sched], [Cpufreq], [Frequency], …) and
+      mismatched arguments to the Eq. (1)–(4) entry points and
       suffix-contradicting bindings, driven by the {!Units} vocabulary
       and a registry seeded from the [.mli] declarations it walks;
     - the {b domain-safety pass} ({!Domain_check}): [domain-capture],
       [experiment-state] — unsynchronized mutable state reachable from
-      closures spawned on other domains, and structure-level mutable
-      state in experiment modules, by reachability over the AST
-      (module aliases and nesting resolved, [Atomic]/[Mutex] exempt).
+      spawned closures, and structure-level mutable state in experiment
+      modules.
 
-    A file that does not parse yields a single [parse-error] issue.  The
-    ["lint:ignore"] waiver marker and the issue/report format are shared
-    with the text lint through [Report]. *)
+    {b Whole program}, over the cross-module call graph ({!Callgraph})
+    of every unit analyzed together:
+
+    - the {b determinism effect pass} ({!Effect_check}):
+      [effect-nondet], [effect-ambient] — classifies every binding into
+      [Pure < SeededRandom < Ambient < Nondet] and reports any
+      non-seeded effect reachable from a simulation entry point, with
+      the full call chain in the message;
+    - the {b lock-discipline pass} ({!Lock_check}): [lock-discipline] —
+      infers, per shared mutable root, whether accesses follow one
+      discipline (one mutex, atomic, domain-confined/read-only) and
+      flags mixed or unguarded access.
+
+    A file that does not parse yields a single [parse-error] issue.
+    Line waivers (["lint:ignore"]), file-scoped symbol waivers
+    ([lint:ignore RULE @Path] — matching any source spelling of the
+    root) and the issue/report format are shared with the text lint
+    through [Report].  [analyze_main --explain RULE] ({!Explain})
+    documents every rule. *)
 
 module Units = Units
 module Unit_check = Unit_check
 module Domain_check = Domain_check
+module Ast_util = Ast_util
+module Callgraph = Callgraph
+module Effect_check = Effect_check
+module Lock_check = Lock_check
+module Explain = Explain
 module Sarif = Sarif
 
 val analyze_source :
   ?registry:Units.registry -> file:string -> string -> Report.issue list
 (** Analyzes one [.ml] compilation unit given its file name and full
-    contents; [.mli] inputs yield no issues (interfaces only feed the
-    registry).  [registry] defaults to {!Units.builtin}.  Waived lines
-    are already filtered; issues are sorted. *)
+    contents — the whole-program passes run on the singleton unit, so a
+    self-contained fixture exercises every rule.  [.mli] inputs yield no
+    issues (interfaces only feed the registry).  [registry] defaults to
+    {!Units.builtin}.  Waived lines are already filtered; issues are
+    sorted. *)
 
 val registry_of_paths : string list -> Units.registry
 (** {!Units.builtin} extended with {!Units.of_interface} entries from
@@ -40,4 +62,6 @@ val registry_of_paths : string list -> Units.registry
 val analyze_paths : string list -> Report.issue list
 (** Walks the given files and directories like [Lint.lint_paths], builds
     the registry from every interface found, then analyzes every
-    implementation.  Issues are sorted by file and line. *)
+    implementation — per-file passes plus the whole-program effect and
+    lock-discipline passes over all units together.  Issues are sorted
+    by file and line. *)

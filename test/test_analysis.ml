@@ -273,6 +273,29 @@ let test_lint_mutable_doc () =
     (Lint.lint_source ~file:"lib/fake/fake.mli" documented = []);
   check_bool "mutable in ml is fine" true (issues_of src = [])
 
+(* Hash tables iterate in hash order, which varies run to run — every
+   [Hashtbl.create] must say why that cannot leak into simulation output
+   (a nearby "deterministic"/"hash-order" comment), or be waived. *)
+let test_lint_hashtbl_create () =
+  check_bool "bare Hashtbl.create flagged" true
+    (rules (issues_of "let t = Hashtbl.create 8\n") = [ "hashtbl-create" ]);
+  check_bool "same-line deterministic comment is fine" true
+    (issues_of "let t = Hashtbl.create 8 (* deterministic: lookup only *)\n" = []);
+  check_bool "comment up to two lines above is fine" true
+    (issues_of "(* Deterministic: keyed lookups, never iterated *)\nlet t = Hashtbl.create 8\n"
+    = []);
+  check_bool "hash-order comment is fine" true
+    (issues_of "(* hash-order: rows sorted before printing *)\n\nlet t = Hashtbl.create 8\n" = []);
+  check_bool "comment three lines up is too far" true
+    (rules (issues_of "(* deterministic *)\n\n\nlet t = Hashtbl.create 8\n")
+    = [ "hashtbl-create" ]);
+  check_bool "string occurrence is blanked" true
+    (issues_of "let s = \"Hashtbl.create\"\n" = []);
+  check_bool "longer module name does not match" true
+    (issues_of "let t = XHashtbl.create 8\n" = []);
+  check_bool "waiver applies" true
+    (issues_of "let t = Hashtbl.create 8 (* lint:ignore hashtbl-create: scratch *)\n" = [])
+
 (* The old text-based [experiment-state] rule moved to the AST analyzer
    (lib/staticcheck, test/test_staticcheck.ml), which also catches aliased
    module state the text scan could not see.  What stays here is the
@@ -359,6 +382,7 @@ let () =
           Alcotest.test_case "assert false" `Quick test_lint_assert_false;
           Alcotest.test_case "mutable without doc" `Quick test_lint_mutable_doc;
           Alcotest.test_case "quoted strings" `Quick test_lint_quoted_string;
+          Alcotest.test_case "hashtbl create" `Quick test_lint_hashtbl_create;
           Alcotest.test_case "driver exit code" `Quick test_lint_driver_exit_code;
         ] );
     ]

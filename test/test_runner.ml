@@ -207,13 +207,14 @@ let mexp ?(status = "ok") id ~seconds ~alloc_mb =
     rows = 1;
   }
 
-let mt ~total experiments =
+let mt ?(analyze = 0.0) ~total experiments =
   {
     Manifest.schema = "dvfs-bench-manifest/2";
     scale = 1.0;
     jobs = 1;
     host_domains = 1;
     total_seconds = total;
+    analyze_seconds = analyze;
     experiments;
   }
 
@@ -258,6 +259,69 @@ let manifest_diff () =
     (Invalid_argument "Manifest.diff: tolerance must be >= 1.0")
     (fun () -> ignore (Manifest.diff ~tolerance:0.5 ~baseline ~current ()))
 
+(* analyze_seconds: the analyzer wall-time key added for the @analyze
+   perf gate.  Optional in the writer — manifests written without it are
+   byte-identical to before — and defaulting to 0 in the reader, so old
+   trajectory baselines keep loading. *)
+let manifest_analyze_seconds () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+    loop 0
+  in
+  let report = Runner.run_all ~pool_size:1 ~scale:1.0 ~experiments:[ ok_experiment "alpha" ] () in
+  let without = Runner.manifest_json report in
+  check_bool "no key unless supplied" false (contains without "analyze_seconds");
+  Alcotest.(check (float 0.0)) "absent key loads as 0" 0.0
+    (Manifest.of_string without).Manifest.analyze_seconds;
+  Alcotest.(check (float 0.0)) "schema /1 loads as 0" 0.0
+    (Manifest.of_string v1_manifest).Manifest.analyze_seconds;
+  let with_timing = Runner.manifest_json ~analyze_seconds:1.25 report in
+  check_bool "key present when supplied" true
+    (contains with_timing "\"analyze_seconds\": 1.250,");
+  Alcotest.(check (float 1e-9)) "round-trips through the reader" 1.25
+    (Manifest.of_string with_timing).Manifest.analyze_seconds;
+  check_bool "strip_timings zeroes it" true
+    (contains
+       (Runner.manifest_json ~strip_timings:true ~analyze_seconds:1.25 report)
+       "\"analyze_seconds\": 0.000,")
+
+let manifest_analyze_gate () =
+  let exps = [ mexp "steady" ~seconds:2.0 ~alloc_mb:100.0 ] in
+  let baseline = mt ~analyze:0.2 ~total:10.0 exps in
+  let current = mt ~analyze:0.5 ~total:10.0 exps in
+  (match Manifest.diff ~baseline ~current () with
+  | [ r ] ->
+      check_string "gated as a run-wide metric" "(total)" r.Manifest.exp_id;
+      check_string "metric name" "analyze_seconds" r.Manifest.metric;
+      Alcotest.(check (float 1e-9)) "ratio" 2.5 r.Manifest.ratio
+  | l -> Alcotest.failf "expected one analyze regression, got %d" (List.length l));
+  (* a side without timing (0.) sits under the noise floor: skipped, so
+     pre-analyzer baselines never trip the gate *)
+  check_bool "timing-less baseline is skipped" true
+    (Manifest.diff ~baseline:(mt ~total:10.0 exps) ~current () = []);
+  check_bool "timing-less current is skipped" true
+    (Manifest.diff ~baseline ~current:(mt ~total:10.0 exps) () = [])
+
+let analyze_timing_sidefile () =
+  let path = Filename.temp_file "dvfs_timing" ".json" in
+  let write s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  write "{\n  \"schema\": \"dvfs-analyze-timing/1\",\n  \"analyze_seconds\": 0.163\n}\n";
+  Alcotest.(check (float 1e-9)) "reads the side-file" 0.163 (Manifest.read_analyze_timing path);
+  write "{\"schema\": \"bogus/9\", \"analyze_seconds\": 1.0}";
+  (match Manifest.read_analyze_timing path with
+  | exception Manifest.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error on a foreign schema");
+  write "{\"schema\": \"dvfs-analyze-timing/1\"}";
+  (match Manifest.read_analyze_timing path with
+  | exception Manifest.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error on a missing field");
+  Sys.remove path
+
 let validation () =
   Alcotest.check_raises "pool_size 0" (Invalid_argument "Runner.run_all: pool_size must be positive")
     (fun () -> ignore (Runner.run_all ~pool_size:0 ~scale:1.0 ~experiments:[] ()));
@@ -285,5 +349,8 @@ let () =
           Alcotest.test_case "schema /1 compatibility" `Quick manifest_v1_compat;
           Alcotest.test_case "rejects malformed input" `Quick manifest_rejects;
           Alcotest.test_case "regression diff" `Quick manifest_diff;
+          Alcotest.test_case "analyze_seconds back-compat" `Quick manifest_analyze_seconds;
+          Alcotest.test_case "analyze_seconds gate" `Quick manifest_analyze_gate;
+          Alcotest.test_case "timing side-file" `Quick analyze_timing_sidefile;
         ] );
     ]

@@ -143,6 +143,221 @@ let test_experiment_state () =
        "let cache = ref [] (* lint:ignore experiment-state: build-time only *)\n"
     = [])
 
+(* ----- interprocedural determinism effect pass -----
+
+   Fixtures are single units, but the whole-program passes run on them
+   through [analyze_source], so an entry-bearing file name (a unit called
+   [Runner] with a [run_all], or a [run] under an [experiments]
+   directory) exercises the call graph, the effect fixpoint and the
+   chain reconstruction end to end. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  loop 0
+
+let test_effect_nondet_chain () =
+  let src =
+    "let stamp () = Unix.gettimeofday ()\n\
+     let helper () = stamp ()\n\
+     let run_all () = helper ()\n"
+  in
+  let issues = analyze ~file:"lib/fake/runner.ml" src in
+  Alcotest.(check (list string)) "wall clock reachable from the entry"
+    [ "effect-nondet" ] (rules issues);
+  (match issues with
+  | [ i ] ->
+      check_int "reported at the primitive use site" 1 i.Report.line;
+      check_bool "chain starts at the entry" true (contains i.Report.message "Runner.run_all");
+      check_bool "chain walks through the helper" true
+        (contains i.Report.message "Runner.run_all → Runner.helper → Runner.stamp")
+  | _ -> Alcotest.fail "expected exactly one issue");
+  (* the same primitive in a function no entry reaches is not reported *)
+  check_rules "unreachable nondet stays silent" []
+    "let stamp () = Unix.gettimeofday ()\nlet unrelated x = x + 1\n"
+
+let test_effect_hash_order () =
+  let src =
+    "let table = Hashtbl.create 8\n\
+     let sum () = Hashtbl.fold (fun _ v acc -> acc + v) table 0\n\
+     let run_all () = sum ()\n"
+  in
+  let issues = analyze ~file:"lib/fake/runner.ml" src in
+  Alcotest.(check (list string)) "hash-order iteration is nondet"
+    [ "effect-nondet" ] (rules issues);
+  match issues with
+  | [ i ] -> check_int "located at the fold" 2 i.Report.line
+  | _ -> Alcotest.fail "expected exactly one issue"
+
+let test_effect_ambient () =
+  Alcotest.(check (list string)) "environment read from an entry"
+    [ "effect-ambient" ]
+    (rules (analyze ~file:"lib/fake/runner.ml" "let run_all () = Sys.getenv_opt \"HOME\"\n"));
+  (* a top-level [run] under experiments/ is an entry point too *)
+  Alcotest.(check (list string)) "experiments run is an entry"
+    [ "effect-ambient" ]
+    (rules (analyze ~file:"lib/experiments/fake.ml" "let run () = Sys.readdir \".\"\n"))
+
+let test_effect_seeded_clean () =
+  Alcotest.(check (list string)) "derived Prng draws are seeded, not flagged" []
+    (rules
+       (analyze ~file:"lib/fake/runner.ml"
+          "let draw rng = Prng.float rng 1.0\nlet run_all () = draw (Prng.create 42)\n"))
+
+let test_effect_waiver () =
+  Alcotest.(check (list string)) "line waiver on the use site applies" []
+    (rules
+       (analyze ~file:"lib/fake/runner.ml"
+          "let stamp () = Unix.gettimeofday () (* lint:ignore effect-nondet: timing only *)\n\
+           let run_all () = stamp ()\n"))
+
+(* ----- interprocedural lock-discipline pass ----- *)
+
+let test_lock_mixed () =
+  let src =
+    "let m = Mutex.create ()\n\
+     let counter = ref 0\n\
+     let bump () = Mutex.protect m (fun () -> incr counter)\n\
+     let run_all () = bump (); incr counter\n"
+  in
+  let issues = analyze ~file:"lib/fake/runner.ml" src in
+  Alcotest.(check (list string)) "mixed guarded/bare access" [ "lock-discipline" ] (rules issues);
+  match issues with
+  | [ i ] ->
+      check_int "reported at the root declaration" 2 i.Report.line;
+      check_bool "message says mixed" true (contains i.Report.message "mixed locking")
+  | _ -> Alcotest.fail "expected exactly one issue"
+
+let test_lock_two_mutexes () =
+  let src =
+    "let m1 = Mutex.create ()\n\
+     let m2 = Mutex.create ()\n\
+     let counter = ref 0\n\
+     let a () = Mutex.protect m1 (fun () -> incr counter)\n\
+     let b () = Mutex.protect m2 (fun () -> incr counter)\n\
+     let run_all () = a (); b ()\n"
+  in
+  let issues = analyze ~file:"lib/fake/runner.ml" src in
+  Alcotest.(check (list string)) "two different mutexes" [ "lock-discipline" ] (rules issues);
+  match issues with
+  | [ i ] -> check_bool "message counts the mutexes" true (contains i.Report.message "2 different mutexes")
+  | _ -> Alcotest.fail "expected exactly one issue"
+
+let test_lock_clean_disciplines () =
+  Alcotest.(check (list string)) "one mutex for every access is clean" []
+    (rules
+       (analyze ~file:"lib/fake/runner.ml"
+          "let m = Mutex.create ()\n\
+           let counter = ref 0\n\
+           let bump () = Mutex.protect m (fun () -> incr counter)\n\
+           let run_all () = bump ()\n"));
+  Alcotest.(check (list string)) "atomic state is clean" []
+    (rules
+       (analyze ~file:"lib/fake/runner.ml"
+          "let counter = Atomic.make 0\nlet run_all () = Atomic.incr counter\n"));
+  Alcotest.(check (list string)) "read-only table is exempt" []
+    (rules
+       (analyze ~file:"lib/fake/runner.ml"
+          "let names = [| \"a\"; \"b\" |]\nlet run_all () = names.(0)\n"))
+
+let test_lock_unguarded () =
+  let src = "let counter = ref 0\nlet run_all () = incr counter\n" in
+  let issues = analyze ~file:"lib/fake/runner.ml" src in
+  Alcotest.(check (list string)) "unguarded shared write" [ "lock-discipline" ] (rules issues);
+  (match issues with
+  | [ i ] ->
+      check_bool "message says no discipline" true
+        (contains i.Report.message "no guarding discipline")
+  | _ -> Alcotest.fail "expected exactly one issue");
+  (* a root the per-file domain-capture rule already reports surfaces
+     under that one rule only, never twice *)
+  check_rules "spawn-captured root reports once, as domain-capture"
+    [ "domain-capture" ]
+    "let counter = ref 0\nlet go () = Domain.spawn (fun () -> incr counter)\n"
+
+(* Symbol waivers: [lint:ignore lock-discipline @Path] anywhere in the
+   file, matching any source spelling of the root — the canonical
+   [Unit.path] key, the in-unit path, or an alias-qualified use. *)
+let test_lock_symbol_waiver () =
+  let body =
+    "module Config = struct\n\
+    \  let collected = ref []\n\
+     end\n\
+     module C = Config\n\
+     let run_all () = C.collected := [ 1 ]\n"
+  in
+  Alcotest.(check (list string)) "unwaived aliased root is flagged"
+    [ "lock-discipline" ]
+    (rules (analyze ~file:"lib/fake/runner.ml" body));
+  List.iter
+    (fun spelling ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "waiver spelled %s applies" spelling) []
+        (rules
+           (analyze ~file:"lib/fake/runner.ml"
+              (Printf.sprintf "(* lint:ignore lock-discipline @%s: test rig *)\n%s" spelling body))))
+    [ "Runner.Config.collected"; "Config.collected"; "C.collected" ];
+  (* a waiver for a different rule or root does not leak *)
+  Alcotest.(check (list string)) "other-rule waiver does not apply"
+    [ "lock-discipline" ]
+    (rules
+       (analyze ~file:"lib/fake/runner.ml"
+          ("(* lint:ignore effect-nondet @C.collected *)\n" ^ body)));
+  Alcotest.(check (list string)) "other-root waiver does not apply"
+    [ "lock-discipline" ]
+    (rules
+       (analyze ~file:"lib/fake/runner.ml"
+          ("(* lint:ignore lock-discipline @Other.path *)\n" ^ body)))
+
+let test_symbol_waiver_report_level () =
+  let issue = { Report.file = "f.ml"; line = 5; rule = "lock-discipline"; message = "m" } in
+  let source = "let x = 1\n(* lint:ignore lock-discipline @Analysis.Config.collected *)\n" in
+  let symbols _ = [ "Config.collected"; "Analysis.Config.collected" ] in
+  check_int "alias spelling waives the canonical issue" 0
+    (List.length (Report.drop_waived ~symbols ~source [ issue ]));
+  check_int "no symbols listed keeps the issue" 1
+    (List.length (Report.drop_waived ~symbols:(fun _ -> []) ~source [ issue ]));
+  check_int "plain drop_waived ignores symbol waivers" 1
+    (List.length (Report.drop_waived ~source [ issue ]))
+
+(* ----- effect lattice: qcheck properties over the exposed solver ----- *)
+
+let classes = [| Staticcheck.Effect_check.Pure; Seeded; Ambient; Nondet |]
+
+let solve_input =
+  QCheck.(
+    quad (int_range 1 8) (small_list (int_range 0 3))
+      (small_list (pair (int_range 0 7) (int_range 0 7)))
+      (small_list (pair (int_range 0 7) (int_range 0 7))))
+
+let solve_fixture (n, codes, e1, e2) =
+  let base =
+    Array.init n (fun i ->
+        classes.(match List.nth_opt codes i with Some c -> c | None -> i mod 4))
+  in
+  let clamp = List.filter (fun (a, b) -> a < n && b < n) in
+  (n, base, clamp e1, clamp e2)
+
+let test_solve_monotone =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"solve is monotone under edge addition" solve_input
+       (fun input ->
+         let n, base, e1, e2 = solve_fixture input in
+         let s1 = Staticcheck.Effect_check.solve ~n ~base ~edges:e1 in
+         let s2 = Staticcheck.Effect_check.solve ~n ~base ~edges:(e1 @ e2) in
+         Array.for_all2 Staticcheck.Effect_check.leq s1 s2))
+
+let test_solve_fixpoint =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"solve is a fixpoint above base" solve_input
+       (fun input ->
+         let n, base, e1, _ = solve_fixture input in
+         let s = Staticcheck.Effect_check.solve ~n ~base ~edges:e1 in
+         Array.for_all2 Staticcheck.Effect_check.leq base s
+         && List.for_all
+              (fun (caller, callee) -> Staticcheck.Effect_check.leq s.(callee) s.(caller))
+              e1))
+
 (* ----- SARIF: minimal JSON reader and round-trip ----- *)
 
 type json =
@@ -358,6 +573,50 @@ let test_sarif_escaping () =
   let msg = as_str (member "text" (member "message" (List.hd (sarif_results doc)))) in
   check_bool "message round-trips" true (msg = issue.Report.message)
 
+(* The analyzer's own SARIF reader ([Sarif.of_string]) closes the
+   baseline loop: what [to_string] writes must load back 1:1, multi-byte
+   UTF-8 (the → in chain messages) and escapes included. *)
+let test_sarif_parse_roundtrip () =
+  let issues =
+    [
+      { Report.file = "lib/a/a.ml"; line = 3; rule = "effect-nondet";
+        message = "Unix.gettimeofday (wall clock) reached via Runner.run_all → Runner.now: fix" };
+      { Report.file = "lib/b/b.ml"; line = 9; rule = "lock-discipline";
+        message = "tricky \"quoted\" \\ and\nnewline" };
+    ]
+  in
+  let back = Staticcheck.Sarif.of_string (Staticcheck.Sarif.to_string ~tool:"t" issues) in
+  check_bool "issues load back byte-identical" true (back = issues);
+  check_bool "malformed input raises" true
+    (match Staticcheck.Sarif.of_string "{\"runs\": " with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_sarif_baseline_diff () =
+  let mk file line rule message = { Report.file; line; rule; message } in
+  let baseline = [ mk "a.ml" 10 "r1" "m1"; mk "gone.ml" 5 "r2" "m2" ] in
+  let current = [ mk "a.ml" 42 "r1" "m1"; mk "new.ml" 7 "r3" "m3" ] in
+  let d = Staticcheck.Sarif.diff_baseline ~baseline ~current in
+  check_bool "line drift still suppresses" true
+    (d.Staticcheck.Sarif.fresh = [ mk "new.ml" 7 "r3" "m3" ]);
+  check_int "one finding suppressed" 1 d.Staticcheck.Sarif.suppressed;
+  check_int "one baseline entry stale" 1 d.Staticcheck.Sarif.stale;
+  let empty = Staticcheck.Sarif.diff_baseline ~baseline:[] ~current in
+  check_int "empty baseline suppresses nothing" 2
+    (List.length empty.Staticcheck.Sarif.fresh)
+
+(* Every rule either checker can emit has an --explain entry. *)
+let test_explain_coverage () =
+  List.iter
+    (fun rule ->
+      check_bool (rule ^ " is documented") true (Staticcheck.Explain.find rule <> None))
+    [
+      "parse-error"; "unit-arith"; "unit-call"; "unit-binding"; "domain-capture";
+      "experiment-state"; "effect-nondet"; "effect-ambient"; "lock-discipline";
+      "float-eq"; "random"; "assert-false"; "mutable-doc"; "hashtbl-create";
+    ];
+  check_bool "unknown rule has no entry" true (Staticcheck.Explain.find "no-such-rule" = None)
+
 (* The acceptance check, mirroring the lint one: the standalone driver
    (what [dune build @analyze] runs) exits 0 on a clean tree, nonzero on a
    planted violation, and always leaves a parseable SARIF file behind. *)
@@ -385,6 +644,18 @@ let test_driver_exit_code () =
   let doc = parse_json (Report.read_file sarif_path) in
   check_int "driver sarif round-trips the issue count" 1 (List.length (sarif_results doc));
   check_bool "usage error exits 2" true (run [ "--bogus"; dir ] = 2);
+  check_int "--explain known rule exits 0" 0 (run [ "--explain"; "lock-discipline" ]);
+  check_int "--explain unknown rule exits 2" 2 (run [ "--explain"; "no-such-rule" ]);
+  (* baseline mode: the SARIF just written is the planted finding, so
+     replaying it as the baseline makes the same tree clean; a second
+     planted finding is fresh and fails again *)
+  check_int "identical baseline suppresses the finding" 0
+    (run [ "--sarif-baseline"; sarif_path; dir ]);
+  write "planted2.ml" "let t_j = Sim_time.to_sec now\n";
+  check_bool "fresh finding beyond the baseline exits nonzero" true
+    (run [ "--sarif-baseline"; sarif_path; dir ] <> 0);
+  check_int "missing baseline file exits 2" 2
+    (run [ "--sarif-baseline"; Filename.concat dir "nope.sarif"; dir ]);
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Sys.rmdir dir
 
@@ -406,11 +677,33 @@ let () =
           Alcotest.test_case "experiment state" `Quick test_experiment_state;
           Alcotest.test_case "aliased experiment state" `Quick test_experiment_state_alias;
         ] );
+      ( "effects",
+        [
+          Alcotest.test_case "nondet call chain" `Quick test_effect_nondet_chain;
+          Alcotest.test_case "hash-order iteration" `Quick test_effect_hash_order;
+          Alcotest.test_case "ambient reads" `Quick test_effect_ambient;
+          Alcotest.test_case "seeded draws are clean" `Quick test_effect_seeded_clean;
+          Alcotest.test_case "use-site waiver" `Quick test_effect_waiver;
+          test_solve_monotone;
+          test_solve_fixpoint;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "mixed guarded/bare" `Quick test_lock_mixed;
+          Alcotest.test_case "two mutexes" `Quick test_lock_two_mutexes;
+          Alcotest.test_case "clean disciplines" `Quick test_lock_clean_disciplines;
+          Alcotest.test_case "unguarded shared write" `Quick test_lock_unguarded;
+          Alcotest.test_case "symbol waivers" `Quick test_lock_symbol_waiver;
+          Alcotest.test_case "symbol waiver matching" `Quick test_symbol_waiver_report_level;
+        ] );
       ( "sarif",
         [
           Alcotest.test_case "round trip" `Quick test_sarif_roundtrip;
           Alcotest.test_case "clean report" `Quick test_sarif_clean;
           Alcotest.test_case "escaping" `Quick test_sarif_escaping;
+          Alcotest.test_case "reader round trip" `Quick test_sarif_parse_roundtrip;
+          Alcotest.test_case "baseline diff" `Quick test_sarif_baseline_diff;
+          Alcotest.test_case "explain coverage" `Quick test_explain_coverage;
           Alcotest.test_case "driver exit code" `Quick test_driver_exit_code;
         ] );
     ]
