@@ -1,0 +1,88 @@
+(* Measured-vs-analytic validation sweep: runs the M/M/c grid against the
+   closed-form oracles and prints the pass/fail table.  Exit status 1 when
+   any point disagrees, so `dune build @validate` fails loudly. *)
+
+open Cmdliner
+
+let run full jobs horizon warmup csv quiet =
+  let jobs = match jobs with Some j -> j | None -> Runner.default_pool_size () in
+  let points = if full then Validate.Sweep.default_grid else Validate.Sweep.quick_grid in
+  let results =
+    try Validate.Sweep.run_grid ~jobs ?horizon ?warmup points
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  if not quiet then begin
+    print_string (Table.render (Validate.Sweep.table results));
+    Printf.printf
+      "%d points, %d jobs; starred columns are the analytic targets; a point\n\
+       agrees when each metric is within 3x its batch-means 95%% CI + 5%%\n\
+       relative + a dispatch-tick floor of the closed form.\n"
+      (List.length points) jobs
+  end;
+  (match csv with
+  | Some path ->
+      let out = open_out path in
+      output_string out (Validate.Sweep.to_csv results);
+      close_out out;
+      if not quiet then Printf.printf "wrote %s\n" path
+  | None -> ());
+  match Validate.Sweep.failures results with
+  | [] -> ()
+  | bad ->
+      List.iter
+        (fun r -> Printf.eprintf "DISAGREES %s\n" (Validate.Sweep.point_key r.Validate.Sweep.point))
+        bad;
+      exit 1
+
+let cmd =
+  let doc =
+    "Validate the simulator against M/M/1 / M/M/c closed forms.  Runs an open-loop \
+     Poisson workload through the real host (credit scheduler + pinned DVFS governor) \
+     and compares measured utilization, sojourn time, and queue length with the \
+     analytic oracle, whose service rate uses the $(b,ratio*cf) effective capacity.  \
+     Deterministic: per-point seeds derive from the point parameters, so output is \
+     bit-identical for any $(b,--jobs) value."
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Run the full 36-point grid instead of the quick 3-point sweep.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker pool size (default: \\$DVFS_JOBS, else the recommended domain count).")
+  in
+  let horizon =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "horizon" ] ~docv:"SECONDS"
+          ~doc:"Measured simulated seconds per point (default 300).")
+  in
+  let warmup =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "warmup" ] ~docv:"SECONDS"
+          ~doc:"Discarded simulated seconds per point before measuring (default 30).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH" ~doc:"Also write every point's metrics as CSV.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the table; only set the exit status.")
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(const run $ full $ jobs $ horizon $ warmup $ csv $ quiet)
+
+let () = exit (Cmd.eval cmd)

@@ -36,6 +36,18 @@ module Running = struct
   let min t = t.acc.mn
   let max t = t.acc.mx
 
+  let ci95 t =
+    if t.n < 2 then infinity
+    else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+
+  let reset t =
+    t.n <- 0;
+    let a = t.acc in
+    a.mean <- 0.0;
+    a.m2 <- 0.0;
+    a.mn <- nan;
+    a.mx <- nan
+
   let copy t =
     {
       n = t.n;
@@ -84,6 +96,11 @@ module Summary = struct
       let frac = rank -. float_of_int lo in
       sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
     end
+
+  let quantile_of_unsorted samples p =
+    let sorted = Array.copy samples in
+    Array.sort Float.compare sorted;
+    percentile sorted p
 
   let of_array samples =
     let n = Array.length samples in

@@ -23,6 +23,15 @@ module Running : sig
   val max : t -> float
   (** [nan] when empty. *)
 
+  val ci95 : t -> float
+  (** Normal-approximation half-width of the 95% confidence interval of the
+      mean: [1.96 * stddev / sqrt count].  [infinity] with fewer than two
+      samples — no spread information means no claim, so a caller comparing
+      against a tolerance never rejects on an empty accumulator. *)
+
+  val reset : t -> unit
+  (** Forget every sample; the accumulator behaves as freshly created. *)
+
   val merge : t -> t -> t
   (** Combined statistics of both accumulators (Chan's parallel formula). *)
 end
@@ -46,7 +55,14 @@ module Summary : sig
 
   val percentile : float array -> float -> float
   (** [percentile sorted p] with [p] in [\[0,100\]], by linear interpolation.
-      The array must already be sorted.
+      The array must already be sorted — on unsorted input the result is
+      silently meaningless; use {!quantile_of_unsorted} when sortedness is
+      not guaranteed.
+      @raise Invalid_argument on an empty array or [p] out of range. *)
+
+  val quantile_of_unsorted : float array -> float -> float
+  (** {!percentile} on a sorted copy of the input (the original array is
+      left untouched), so it is safe on samples in arrival order.
       @raise Invalid_argument on an empty array or [p] out of range. *)
 
   val pp : Format.formatter -> t -> unit

@@ -4,7 +4,7 @@ let all =
   @ Ablation.all
   @ [ Smp_ablation.experiment; Cluster_ablation.experiment ]
   @ Sweeps.all
-  @ [ Latency.experiment ]
+  @ [ Latency.experiment; Validate_queueing.experiment ]
 
 let find id = List.find_opt (fun e -> String.equal e.Experiment.id id) all
 let ids () = List.map (fun e -> e.Experiment.id) all

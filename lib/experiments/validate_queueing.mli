@@ -1,0 +1,11 @@
+(** Queueing-theoretic validation experiment (id: [validate-queueing]).
+
+    Runs the {!Validate.Sweep.quick_grid} — M/M/1 at full speed, M/M/1
+    under the powersave governor (the DVFS case, where the oracle's
+    service rate is scaled by [ratio * cf]), and M/M/3 — and reports
+    measured utilization, sojourn time, and number in system next to the
+    closed-form targets with a pass/fail verdict per point.  The golden
+    suite pins this output, so a capacity-law or scheduler-accounting
+    regression flips a committed verdict. *)
+
+val experiment : Experiment.t

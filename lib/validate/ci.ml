@@ -1,0 +1,60 @@
+type t = { mean : float; half_width : float; batches : int; count : int }
+
+(* Two-sided 95% critical values of Student's t for 1..30 degrees of
+   freedom; beyond 30 the normal value 1.96 is close enough (the exact
+   t_30 is 2.042). *)
+let t_crit_95 =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let t_critical ~df =
+  if df < 1 then invalid_arg "Ci.t_critical: df must be positive";
+  if df <= Array.length t_crit_95 then t_crit_95.(df - 1) else 1.96
+
+let mean_of samples lo hi =
+  let acc = ref 0.0 in
+  for i = lo to hi - 1 do
+    acc := !acc +. samples.(i)
+  done;
+  !acc /. float_of_int (hi - lo)
+
+(* Correlated-sample CI by the method of batch means: split the series
+   into [batches] contiguous equal batches (a trailing remainder of fewer
+   than [batch] samples is dropped) and treat the batch means as
+   approximately independent.  With fewer than two batches' worth of data
+   the half-width is [infinity]: no spread estimate means no claim, so a
+   tolerance check never rejects on insufficient data. *)
+let batch_means ?(batches = 20) samples =
+  if batches < 2 then invalid_arg "Ci.batch_means: batches must be at least 2";
+  let n = Array.length samples in
+  let b = Stdlib.min batches (n / 2) in
+  if b < 2 then
+    {
+      mean = (if n = 0 then 0.0 else mean_of samples 0 n);
+      half_width = infinity;
+      batches = 0;
+      count = n;
+    }
+  else begin
+    let batch = n / b in
+    let stats = Stats.Running.create () in
+    for k = 0 to b - 1 do
+      Stats.Running.add stats (mean_of samples (k * batch) ((k + 1) * batch))
+    done;
+    {
+      mean = Stats.Running.mean stats;
+      half_width =
+        t_critical ~df:(b - 1) *. Stats.Running.stddev stats /. sqrt (float_of_int b);
+      batches = b;
+      count = n;
+    }
+  end
+
+let within t ~target = Float.abs (t.mean -. target) <= t.half_width
+
+let pp ppf t =
+  Format.fprintf ppf "%.4g ± %.2g (%d batches over %d samples)" t.mean t.half_width
+    t.batches t.count

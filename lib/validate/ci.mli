@@ -1,0 +1,34 @@
+(** Batch-means confidence intervals for steady-state simulation output.
+
+    Per-request samples from a queueing simulation are autocorrelated, so
+    the naive [stddev/sqrt n] interval is far too tight.  The standard
+    remedy (Law & Kelton) is batch means: split the run into [b]
+    contiguous batches, whose means are approximately independent, and
+    build a Student-t interval over them.  This is what makes the
+    validation rig's tolerance {e statistical} — a wider CI on a noisier
+    run, rather than a magic epsilon. *)
+
+type t = {
+  mean : float;  (** grand mean of the batch means *)
+  half_width : float;
+      (** 95% half-width; [infinity] when fewer than two full batches of
+          data exist, so a tolerance check never rejects for lack of
+          samples *)
+  batches : int;  (** batches actually used (0 when insufficient data) *)
+  count : int;  (** raw samples supplied *)
+}
+
+val t_critical : df:int -> float
+(** Two-sided 95% Student-t critical value; exact for [df <= 30], 1.96
+    beyond.  @raise Invalid_argument when [df < 1]. *)
+
+val batch_means : ?batches:int -> float array -> t
+(** [batch_means ~batches samples] (default 20 batches).  The effective
+    batch count is reduced so every batch holds at least two samples; a
+    trailing remainder shorter than one batch is dropped.
+    @raise Invalid_argument when [batches < 2]. *)
+
+val within : t -> target:float -> bool
+(** Whether [target] lies inside the interval. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,111 @@
+exception Unstable of string
+
+let unstable fmt = Printf.ksprintf (fun s -> raise (Unstable s)) fmt
+
+type metrics = {
+  rho : float;
+  n_sys : float;
+  n_queue : float;
+  sojourn : float;
+  waiting : float;
+}
+
+let check_rates ~what ~lambda ~mu =
+  if not (lambda > 0.0) then
+    invalid_arg (Printf.sprintf "Oracle.%s: lambda must be positive" what);
+  if not (mu > 0.0) then
+    invalid_arg (Printf.sprintf "Oracle.%s: mu must be positive" what)
+
+let mm1 ~lambda ~mu =
+  check_rates ~what:"mm1" ~lambda ~mu;
+  let rho = lambda /. mu in
+  if rho >= 1.0 then unstable "M/M/1 unstable: rho = %g >= 1" rho;
+  {
+    rho;
+    n_sys = rho /. (1.0 -. rho);
+    n_queue = rho *. rho /. (1.0 -. rho);
+    sojourn = 1.0 /. (mu -. lambda);
+    waiting = rho /. (mu -. lambda);
+  }
+
+(* Erlang-C: probability an arrival must wait in M/M/c, with offered load
+   a = lambda/mu and per-server utilization rho = a/c.  The sum accumulates
+   a^k/k! incrementally; after the loop [term] holds a^c/c!. *)
+let erlang_c ~lambda ~mu ~servers =
+  check_rates ~what:"erlang_c" ~lambda ~mu;
+  if servers < 1 then invalid_arg "Oracle.erlang_c: servers must be positive";
+  let a = lambda /. mu in
+  let rho = a /. float_of_int servers in
+  if rho >= 1.0 then unstable "M/M/%d unstable: rho = %g >= 1" servers rho;
+  let sum = ref 0.0 in
+  let term = ref 1.0 in
+  for k = 1 to servers do
+    sum := !sum +. !term;
+    term := !term *. a /. float_of_int k
+  done;
+  let tail = !term /. (1.0 -. rho) in
+  tail /. (!sum +. tail)
+
+let mmc ~lambda ~mu ~servers =
+  if servers = 1 then mm1 ~lambda ~mu
+  else begin
+    let p_wait = erlang_c ~lambda ~mu ~servers in
+    let a = lambda /. mu in
+    let rho = a /. float_of_int servers in
+    let n_queue = p_wait *. rho /. (1.0 -. rho) in
+    let waiting = n_queue /. lambda in
+    {
+      rho;
+      n_sys = n_queue +. a;
+      n_queue;
+      sojourn = waiting +. (1.0 /. mu);
+      waiting;
+    }
+  end
+
+type repairman = {
+  utilization : float;
+  throughput : float;
+  in_system : float;
+  response : float;
+}
+
+let machine_repairman ~clients ~think_time ~service_time =
+  if clients < 1 then invalid_arg "Oracle.machine_repairman: clients must be positive";
+  if not (think_time >= 0.0) then
+    invalid_arg "Oracle.machine_repairman: think_time must be non-negative";
+  if not (service_time > 0.0) then
+    invalid_arg "Oracle.machine_repairman: service_time must be positive";
+  let n = clients in
+  if think_time = 0.0 (* lint:ignore float-eq: exact saturated-client limit *)
+  then
+    (* Saturated clients: the server never idles, one request completes per
+       service time, and all N clients are always in the system. *)
+    {
+      utilization = 1.0;
+      throughput = 1.0 /. service_time;
+      in_system = float_of_int n;
+      response = float_of_int n *. service_time;
+    }
+  else begin
+    (* M/M/1//N: p_k proportional to N!/(N-k)! * (S/T)^k, normalised.  The
+       recurrence multiplies by the remaining-client count, so no factorial
+       overflows. *)
+    let r = service_time /. think_time in
+    let p = Array.make (n + 1) 0.0 in
+    p.(0) <- 1.0;
+    for k = 1 to n do
+      p.(k) <- p.(k - 1) *. float_of_int (n - k + 1) *. r
+    done;
+    let total = Array.fold_left ( +. ) 0.0 p in
+    let busy = 1.0 -. (p.(0) /. total) in
+    let in_system = ref 0.0 in
+    Array.iteri (fun k pk -> in_system := !in_system +. (float_of_int k *. pk /. total)) p;
+    let throughput = busy /. service_time in
+    {
+      utilization = busy;
+      throughput;
+      in_system = !in_system;
+      response = !in_system /. throughput (* Little's law *);
+    }
+  end

@@ -1,0 +1,55 @@
+(** Closed-form queueing oracles.
+
+    Dependency-free steady-state results the validation rig compares the
+    simulator against: M/M/1, M/M/c (via the Erlang-C waiting probability),
+    and the machine-repairman model matching {!Workloads.Closed_loop}.
+    Rates are per second; times in seconds.  All formulas are textbook
+    (e.g. Kleinrock vol. 1) — the value here is that they are computed
+    outside the simulator, from the {e parameters} only. *)
+
+exception Unstable of string
+(** Raised when the offered load saturates the servers ([rho >= 1]) and no
+    steady state exists. *)
+
+type metrics = {
+  rho : float;  (** per-server utilization [lambda / (c * mu)] *)
+  n_sys : float;  (** mean number in system, L *)
+  n_queue : float;  (** mean number waiting, Lq *)
+  sojourn : float;  (** mean time in system, W (seconds) *)
+  waiting : float;  (** mean time in queue, Wq (seconds) *)
+}
+
+val mm1 : lambda:float -> mu:float -> metrics
+(** Single server: [rho = lambda/mu], [L = rho/(1-rho)],
+    [W = 1/(mu-lambda)].
+    @raise Unstable when [lambda >= mu].
+    @raise Invalid_argument on non-positive rates. *)
+
+val erlang_c : lambda:float -> mu:float -> servers:int -> float
+(** Probability that an arrival has to queue in M/M/c (the Erlang-C
+    formula), with offered load [a = lambda/mu] spread over [servers].
+    @raise Unstable when [a >= servers]. *)
+
+val mmc : lambda:float -> mu:float -> servers:int -> metrics
+(** M/M/c steady state: [Lq = P_wait * rho / (1-rho)] with
+    [P_wait = erlang_c], then Little's law for the times.  Coincides with
+    {!mm1} when [servers = 1].
+    @raise Unstable when the system is saturated. *)
+
+type repairman = {
+  utilization : float;  (** server busy fraction *)
+  throughput : float;  (** completions per second *)
+  in_system : float;  (** mean clients waiting or in service *)
+  response : float;  (** mean submit-to-completion time, seconds *)
+}
+
+val machine_repairman :
+  clients:int -> think_time:float -> service_time:float -> repairman
+(** The M/M/1//N finite-population model behind {!Workloads.Closed_loop}:
+    [clients] users alternate exponential think periods (mean
+    [think_time]) with exponential service demands (mean [service_time])
+    at a single server.  [think_time = 0.0] is the saturated limit:
+    utilization 1, throughput [1/service_time], response
+    [clients * service_time].
+    @raise Invalid_argument on a negative [think_time] or non-positive
+    [clients]/[service_time]. *)

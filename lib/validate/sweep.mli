@@ -1,0 +1,133 @@
+(** Measured-vs-analytic sweep harness.
+
+    Each grid {!point} drives the {e real} simulator — an
+    {!Workloads.Open_loop} Poisson source against the credit scheduler,
+    host dispatch loop, and a pinned DVFS governor — then compares the
+    measured utilization, mean sojourn time, and mean number in system
+    against the {!Oracle} closed forms, with a {!Ci} batch-means interval
+    deciding agreement.  The oracle's service rate is
+    [mu = speed / service_mean] where [speed = ratio * cf] at the
+    governor's pinned frequency: a capacity-law bug therefore flips the
+    pass/fail table even though both sides are "correct" in isolation.
+
+    Single-server points run through the whole hypervisor stack
+    (workload mode); multi-server points tick the station directly on the
+    event queue (station mode), since the host model is single-core.
+
+    Every point's seed derives from its parameters via {!Prng.derive_seed},
+    so the sweep is bit-identical for any [jobs] count. *)
+
+type policy = Performance | Powersave
+(** Which trivial governor pins the host frequency: maximum or minimum. *)
+
+val policy_name : policy -> string
+
+type point = {
+  rate : float;  (** Poisson arrival rate, requests per second *)
+  service_mean : float;  (** mean service demand, absolute seconds *)
+  servers : int;
+  policy : policy;
+}
+
+val point_key : point -> string
+(** Stable seed-derivation key, a pure function of the parameters. *)
+
+val point :
+  rho:float -> service_mean:float -> servers:int -> policy:policy -> point
+(** Builds a point from a target per-server utilization: the arrival rate
+    is [rho * speed * servers / service_mean] at the policy's effective
+    speed, so the same [rho] exercises both frequencies.
+    @raise Invalid_argument unless [rho] is in (0, 1). *)
+
+val speed_of_policy : policy -> float
+(** Effective capacity [ratio * cf] at the policy's pinned frequency on
+    the paper's Optiplex 755 testbed (1.0 at maximum, 0.6 at minimum). *)
+
+type measurement = {
+  util : Ci.t;  (** per-window busy fraction (divided by server count) *)
+  sojourn : Ci.t;  (** per-request time in system, seconds *)
+  n_sys : Ci.t;  (** number in system seen at arrival instants (PASTA) *)
+  completed : int;
+}
+
+val measure : ?horizon:float -> ?warmup:float -> point -> measurement
+(** Runs the point for [warmup] simulated seconds (default 30, discarded)
+    plus [horizon] seconds (default 300, measured). *)
+
+type tolerance = {
+  sigma : float;  (** CI half-width multiplier *)
+  rel : float;  (** relative slack on the analytic target *)
+  util_floor : float;  (** absolute utilization slack *)
+  time_floor : float;
+      (** absolute sojourn slack in seconds — covers the one-tick arrival
+          visibility delay; the number-in-system floor is
+          [rate * time_floor + 0.03] by Little's law *)
+}
+
+val default_tolerance : tolerance
+
+type verdict = {
+  metric : string;  (** ["util"], ["sojourn"] or ["n_sys"] *)
+  measured : float;
+  half_width : float;
+  oracle : float;
+  ok : bool;
+}
+
+type result = {
+  point : point;
+  speed : float;
+  completed : int;
+  verdicts : verdict list;
+  pass : bool;  (** every verdict agreed *)
+}
+
+val assess :
+  ?tolerance:tolerance -> ?mu_scale:float -> point -> measurement -> result
+(** Compares a measurement against the closed form with service rate
+    [mu_scale * speed / service_mean].  [mu_scale] (default 1) perturbs
+    the oracle only — the injected-bug test sets it to 0.8 to demonstrate
+    that a mis-scaled service rate flips the table. *)
+
+val run_point :
+  ?horizon:float ->
+  ?warmup:float ->
+  ?tolerance:tolerance ->
+  ?mu_scale:float ->
+  point ->
+  result
+
+val quick_grid : point list
+(** Three points covering M/M/1 at full speed, M/M/1 under the powersave
+    governor (the DVFS case), and M/M/3 — the [@validatecheck] sweep. *)
+
+val default_grid : point list
+(** The full 36-point grid: rho 0.3/0.5/0.7 x service 50/100 ms x
+    1/2/4 servers x both policies. *)
+
+val run_grid :
+  ?jobs:int ->
+  ?horizon:float ->
+  ?warmup:float ->
+  ?tolerance:tolerance ->
+  ?mu_scale:float ->
+  point list ->
+  result list
+(** Runs the points on [jobs] domains (default 1), results in grid order
+    regardless of pool size.  Per-point seeds derive from {!point_key},
+    so the output is bit-identical for any [jobs].
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val failures : result list -> result list
+
+val verdict_of : result -> string -> verdict
+(** @raise Invalid_argument on an unknown metric name. *)
+
+val table : result list -> Table.t
+(** Pass/fail report: measured next to analytic ([*] columns) per point. *)
+
+val csv_header : string
+
+val to_csv : result list -> string
+(** One line per point under {!csv_header}, [%.6g] formatting — the
+    byte-stable artifact the determinism tests compare. *)

@@ -15,9 +15,17 @@ type t = {
   response : Stats.Running.t;
 }
 
+(* Zero mean think time is the saturated-client limit (resubmit the instant
+   a response arrives), so the exponential draw degenerates to 0. *)
+let think_delay ~rng ~think_time =
+  if think_time = 0.0 (* lint:ignore float-eq: exact zero is the saturated-client sentinel *)
+  then 0.0
+  else Prng.exponential rng ~rate:(1.0 /. think_time)
+
 let create ?(seed = 424242) ~clients ~think_time ~request_work () =
   if clients <= 0 then invalid_arg "Closed_loop.create: clients must be positive";
-  if not (think_time > 0.0) then invalid_arg "Closed_loop.create: think_time must be positive";
+  if not (think_time >= 0.0) then
+    invalid_arg "Closed_loop.create: think_time must be non-negative";
   if not (request_work > 0.0) then
     invalid_arg "Closed_loop.create: request_work must be positive";
   let rng = Prng.create ~seed in
@@ -28,7 +36,7 @@ let create ?(seed = 424242) ~clients ~think_time ~request_work () =
     clients =
       Array.init clients (fun _ ->
           {
-            wakes_at = Sim_time.of_sec_f (Prng.exponential rng ~rate:(1.0 /. think_time));
+            wakes_at = Sim_time.of_sec_f (think_delay ~rng ~think_time);
             thinking = true;
           });
     queue = Queue.create ();
@@ -64,7 +72,7 @@ let execute t ~now ~cpu_time ~speed =
       c.thinking <- true;
       c.wakes_at <-
         Sim_time.add now
-          (Sim_time.of_sec_f (Prng.exponential t.rng ~rate:(1.0 /. t.think_time)))
+          (Sim_time.of_sec_f (think_delay ~rng:t.rng ~think_time:t.think_time))
     end
     else begin
       req.remaining <- req.remaining -. !budget;
@@ -90,4 +98,6 @@ let thinking_clients t ~now =
     0 t.clients
 
 let offered_load t =
-  float_of_int (Array.length t.clients) *. t.request_work /. t.think_time
+  if t.think_time = 0.0 (* lint:ignore float-eq: saturated clients offer unbounded load *)
+  then infinity
+  else float_of_int (Array.length t.clients) *. t.request_work /. t.think_time

@@ -18,8 +18,12 @@ val create :
   unit ->
   t
 (** [think_time] is the mean think time in seconds; [request_work] the
-    service demand per request in absolute seconds.
-    @raise Invalid_argument on non-positive parameters. *)
+    service demand per request in absolute seconds.  [think_time = 0.0] is
+    the saturated-client limit: every client resubmits the instant its
+    previous response completes, so offered load is unbounded and the CPU
+    never idles (the machine-repairman model with zero think time).
+    @raise Invalid_argument on negative [think_time] or non-positive
+    [clients]/[request_work]. *)
 
 val workload : t -> Workload.t
 
@@ -32,4 +36,7 @@ val thinking_clients : t -> now:Sim_time.t -> int
 
 val offered_load : t -> float
 (** The asymptotic absolute work rate if service were instantaneous:
-    [clients * request_work / think_time]. *)
+    [clients * request_work / think_time].  With a single client this is the
+    work rate of its think/submit cycle, an upper bound on what the client
+    can actually offer once service time is non-zero.  [infinity] when
+    [think_time = 0.0] (saturated clients). *)

@@ -1,0 +1,171 @@
+(* Open-loop Poisson request source (an M/M/c station).  Arrival times are
+   kept as exact floats (not quantised to the dispatch tick) and completion
+   instants are reconstructed sub-tick from the work consumed, so measured
+   sojourn times carry at most the one-tick visibility delay of the host
+   loop — small enough for the validation rig's confidence intervals to
+   absorb. *)
+
+type request = {
+  arrived : float; (* exact arrival instant, seconds *)
+  mutable remaining : float; (* absolute work still to serve *)
+}
+
+type t = {
+  rate : float;
+  service_mean : float;
+  servers : int;
+  rng : Prng.t;
+  queue : request Queue.t; (* waiting (workload mode: head is in service) *)
+  in_service : request option array; (* station mode: one slot per server *)
+  mutable next_arrival : float;
+  mutable arrivals : int;
+  mutable completed : int;
+  mutable busy : float; (* cumulative server-busy seconds, all servers *)
+  sojourn : Stats.Running.t;
+  sojourn_log : Vec.Floats.t;
+  seen : Stats.Running.t; (* number in system seen by each arrival *)
+  seen_log : Vec.Floats.t;
+}
+
+let create ?(seed = 271828) ?(servers = 1) ~rate ~service_mean () =
+  if not (rate > 0.0) then invalid_arg "Open_loop.create: rate must be positive";
+  if not (service_mean > 0.0) then
+    invalid_arg "Open_loop.create: service_mean must be positive";
+  if servers < 1 then invalid_arg "Open_loop.create: servers must be positive";
+  let rng = Prng.create ~seed in
+  {
+    rate;
+    service_mean;
+    servers;
+    rng;
+    queue = Queue.create ();
+    in_service = Array.make servers None;
+    next_arrival = Prng.exponential rng ~rate;
+    arrivals = 0;
+    completed = 0;
+    busy = 0.0;
+    sojourn = Stats.Running.create ();
+    sojourn_log = Vec.Floats.create ();
+    seen = Stats.Running.create ();
+    seen_log = Vec.Floats.create ();
+  }
+
+let in_service_count t =
+  let n = ref 0 in
+  Array.iter (function Some _ -> incr n | None -> ()) t.in_service;
+  !n
+
+let in_system t = Queue.length t.queue + in_service_count t
+
+(* Inject every arrival whose exact instant has been reached.  The number
+   in system is sampled just before each arrival joins: by PASTA the mean
+   of those samples estimates the time-average number in system L. *)
+let sync_arrivals t ~now_s =
+  while t.next_arrival <= now_s do
+    let seen = float_of_int (in_system t) in
+    Stats.Running.add t.seen seen;
+    Vec.Floats.push t.seen_log seen;
+    Queue.push
+      {
+        arrived = t.next_arrival;
+        remaining = Prng.exponential t.rng ~rate:(1.0 /. t.service_mean);
+      }
+      t.queue;
+    t.arrivals <- t.arrivals + 1;
+    t.next_arrival <- t.next_arrival +. Prng.exponential t.rng ~rate:t.rate
+  done
+
+let complete t req ~finished =
+  t.completed <- t.completed + 1;
+  let sojourn = finished -. req.arrived in
+  Stats.Running.add t.sojourn sojourn;
+  Vec.Floats.push t.sojourn_log sojourn
+
+let advance t ~now ~dt:_ = sync_arrivals t ~now_s:(Sim_time.to_sec now)
+
+let has_work t () = not (Queue.is_empty t.queue)
+
+(* Single-server FIFO service of the offered slice (workload mode). *)
+let execute t ~now ~cpu_time ~speed =
+  let now_s = Sim_time.to_sec now in
+  let budget = ref (Sim_time.to_sec cpu_time *. speed) in
+  let used_work = ref 0.0 in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty t.queue) do
+    let req = Queue.peek t.queue in
+    if req.remaining <= !budget then begin
+      budget := !budget -. req.remaining;
+      used_work := !used_work +. req.remaining;
+      ignore (Queue.pop t.queue);
+      complete t req ~finished:(now_s +. (!used_work /. speed))
+    end
+    else begin
+      req.remaining <- req.remaining -. !budget;
+      used_work := !used_work +. !budget;
+      budget := 0.0;
+      continue := false
+    end
+  done;
+  t.busy <- t.busy +. (!used_work /. speed);
+  Sim_time.min cpu_time (Sim_time.of_sec_f (!used_work /. speed))
+
+let workload t =
+  if t.servers <> 1 then
+    invalid_arg "Open_loop.workload: a multi-server station must be driven by step";
+  Workload.make ~name:"open-loop"
+    ~advance:(fun ~now ~dt -> advance t ~now ~dt)
+    ~has_work:(has_work t)
+    ~execute:(fun ~now ~cpu_time ~speed -> execute t ~now ~cpu_time ~speed)
+    ()
+
+(* Station mode: every server independently spends up to [dt] of wall time
+   serving at [speed] work units per second, pulling the next waiting
+   request whenever it frees mid-interval. *)
+let step t ~now ~dt ~speed =
+  if not (speed > 0.0) then invalid_arg "Open_loop.step: speed must be positive";
+  let now_s = Sim_time.to_sec now in
+  sync_arrivals t ~now_s;
+  let dt_sec = Sim_time.to_sec dt in
+  for k = 0 to t.servers - 1 do
+    let budget = ref dt_sec in
+    let continue = ref true in
+    while !continue do
+      match t.in_service.(k) with
+      | None ->
+          if Queue.is_empty t.queue then continue := false
+          else t.in_service.(k) <- Some (Queue.pop t.queue)
+      | Some req ->
+          let possible = !budget *. speed in
+          if req.remaining <= possible then begin
+            let spent = req.remaining /. speed in
+            budget := !budget -. spent;
+            t.busy <- t.busy +. spent;
+            t.in_service.(k) <- None;
+            complete t req ~finished:(now_s +. (dt_sec -. !budget))
+          end
+          else begin
+            req.remaining <- req.remaining -. possible;
+            t.busy <- t.busy +. !budget;
+            budget := 0.0;
+            continue := false
+          end
+    done
+  done
+
+let reset_stats t =
+  t.arrivals <- 0;
+  t.completed <- 0;
+  t.busy <- 0.0;
+  Stats.Running.reset t.sojourn;
+  Stats.Running.reset t.seen;
+  Vec.Floats.clear t.sojourn_log;
+  Vec.Floats.clear t.seen_log
+
+let servers t = t.servers
+let arrivals t = t.arrivals
+let completed_requests t = t.completed
+let busy_time t = t.busy
+let sojourn_times t = t.sojourn
+let sojourn_samples t = Vec.Floats.to_array t.sojourn_log
+let queue_seen t = t.seen
+let queue_seen_samples t = Vec.Floats.to_array t.seen_log

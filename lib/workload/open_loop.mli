@@ -1,0 +1,79 @@
+(** Open-loop Poisson request source — an M/M/c station on the simulator.
+
+    Unlike {!Closed_loop}, arrivals do not wait for completions: requests
+    arrive in a Poisson stream of the configured [rate] regardless of how
+    the system keeps up, each carrying an exponentially distributed service
+    demand with mean [service_mean] absolute seconds.  That makes the
+    station's steady state exactly an M/M/c queue, so its measured
+    utilization, mean sojourn time, and mean number in system have
+    closed-form targets — the property the validation rig
+    ([lib/validate]) exploits.
+
+    Two driving modes share the same arrival stream and statistics:
+
+    - {b Workload mode} ([workload], [servers = 1] only): behaves like any
+      other {!Workload.t} and is placed inside a VM on a real host, so
+      service passes through the credit scheduler, governor, and
+      [ratio*cf] capacity law.
+    - {b Station mode} ([step], any [servers]): the caller ticks the
+      station directly with an explicit [speed]; each of the [c] servers
+      independently serves the FIFO queue.  Used for the M/M/c sweeps
+      where the host model has no multi-server analogue.
+
+    Arrival instants are exact floats (not quantised to the driving tick)
+    and completion instants are reconstructed sub-tick from the work
+    consumed, so measurement bias is bounded by one tick of visibility
+    delay. *)
+
+type t
+
+val create :
+  ?seed:int -> ?servers:int -> rate:float -> service_mean:float -> unit -> t
+(** [rate] is the Poisson arrival rate in requests per second;
+    [service_mean] the mean service demand per request in absolute seconds
+    (processor seconds at full speed); [servers] (default 1) the number of
+    parallel servers in station mode.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val workload : t -> Workload.t
+(** Single-server workload-mode adapter.
+    @raise Invalid_argument when [servers <> 1]. *)
+
+val step : t -> now:Sim_time.t -> dt:Sim_time.t -> speed:float -> unit
+(** Station mode: inject the arrivals due by [now], then let every server
+    spend up to [dt] of wall time serving at [speed] work units per
+    second.  Completions inside the interval free the server for the next
+    queued request immediately.
+    @raise Invalid_argument if [speed <= 0]. *)
+
+val reset_stats : t -> unit
+(** Zero the counters and statistics (for discarding a warm-up interval)
+    while keeping the queue contents, in-flight requests, and random
+    stream untouched. *)
+
+val servers : t -> int
+
+val arrivals : t -> int
+(** Requests injected so far (since the last [reset_stats]). *)
+
+val completed_requests : t -> int
+
+val busy_time : t -> float
+(** Cumulative busy wall-seconds summed over all servers; divide by
+    elapsed time × servers for mean utilization. *)
+
+val in_system : t -> int
+(** Requests currently queued or in service. *)
+
+val sojourn_times : t -> Stats.Running.t
+(** Per-request time from arrival to completion, seconds. *)
+
+val sojourn_samples : t -> float array
+(** Sojourn times in completion order (for batch-means analysis). *)
+
+val queue_seen : t -> Stats.Running.t
+(** Number in system sampled at each arrival instant; by PASTA its mean
+    estimates the time-average number in system L. *)
+
+val queue_seen_samples : t -> float array
+(** Arrival-instant system sizes in arrival order. *)

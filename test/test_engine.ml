@@ -361,12 +361,47 @@ let stats_merge () =
   check_float_eps 1e-9 "mean" (Stats.Running.mean all) (Stats.Running.mean m);
   check_float_eps 1e-9 "variance" (Stats.Running.variance all) (Stats.Running.variance m)
 
+let stats_ci95 () =
+  let s = Stats.Running.create () in
+  check_bool "empty: no claim" true (Stats.Running.ci95 s = infinity);
+  Stats.Running.add s 1.0;
+  check_bool "single sample: no claim" true (Stats.Running.ci95 s = infinity);
+  List.iter (Stats.Running.add s) [ 2.0; 3.0; 4.0; 5.0 ];
+  (* 1..5: mean 3, sd = sqrt(2.5); 1.96 * sd / sqrt 5 = 1.3859. *)
+  check_float_eps 1e-4 "half width" 1.3859 (Stats.Running.ci95 s)
+
+let stats_reset () =
+  let s = Stats.Running.create () in
+  List.iter (Stats.Running.add s) [ 5.0; 7.0; 9.0 ];
+  Stats.Running.reset s;
+  check_int "count 0" 0 (Stats.Running.count s);
+  check_float "mean 0" 0.0 (Stats.Running.mean s);
+  check_float "variance 0" 0.0 (Stats.Running.variance s);
+  check_bool "min nan again" true (Float.is_nan (Stats.Running.min s));
+  (* Behaves as freshly created: refilling gives the fresh statistics. *)
+  List.iter (Stats.Running.add s) [ 2.0; 4.0 ];
+  check_float "refilled mean" 3.0 (Stats.Running.mean s);
+  check_float "refilled min" 2.0 (Stats.Running.min s)
+
 let stats_percentiles () =
   let sorted = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
   check_float "p0" 1.0 (Stats.Summary.percentile sorted 0.0);
   check_float "p50" 3.0 (Stats.Summary.percentile sorted 50.0);
   check_float "p100" 5.0 (Stats.Summary.percentile sorted 100.0);
   check_float "p25 interp" 2.0 (Stats.Summary.percentile sorted 25.0)
+
+let stats_quantile_unsorted =
+  qtest "quantile_of_unsorted = percentile on the sorted copy"
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range (-100.0) 100.0)) (float_range 0.0 100.0))
+    (fun (samples, p) ->
+      let arr = Array.of_list samples in
+      let before = Array.copy arr in
+      let q = Stats.Summary.quantile_of_unsorted arr p in
+      let sorted = Array.copy arr in
+      Array.sort Float.compare sorted;
+      (* The input must be left untouched, and the result must match the
+         documented percentile on sorted data. *)
+      before = arr && Float.abs (q -. Stats.Summary.percentile sorted p) < 1e-9)
 
 let stats_summary () =
   let s = Stats.Summary.of_array [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
@@ -630,7 +665,10 @@ let () =
           Alcotest.test_case "running" `Quick stats_running;
           Alcotest.test_case "running empty" `Quick stats_running_empty;
           Alcotest.test_case "merge" `Quick stats_merge;
+          Alcotest.test_case "ci95" `Quick stats_ci95;
+          Alcotest.test_case "reset" `Quick stats_reset;
           Alcotest.test_case "percentiles" `Quick stats_percentiles;
+          stats_quantile_unsorted;
           Alcotest.test_case "summary" `Quick stats_summary;
           Alcotest.test_case "summary empty" `Quick stats_summary_empty;
           Alcotest.test_case "histogram" `Quick stats_histogram;

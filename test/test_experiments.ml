@@ -69,7 +69,7 @@ let scenario_invalid_scale () =
 
 let registry_ids_unique () =
   let ids = Registry.ids () in
-  check_int "20 experiments" 20 (List.length ids);
+  check_int "21 experiments" 21 (List.length ids);
   check_int "unique" (List.length ids) (List.length (List.sort_uniq String.compare ids))
 
 let registry_find () =

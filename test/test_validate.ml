@@ -1,0 +1,349 @@
+(* The queueing-theoretic validation rig (lib/validate): closed-form
+   oracles against textbook values, batch-means CI behaviour, and the
+   measured-vs-analytic sweep itself — including the injected-bug check
+   that a mis-scaled oracle service rate flips the pass/fail table. *)
+
+module Oracle = Validate.Oracle
+module Ci = Validate.Ci
+module Sweep = Validate.Sweep
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle closed forms *)
+
+let mm1_textbook () =
+  (* lambda = 2, mu = 5: rho = 0.4, L = 2/3, Lq = 4/15, W = 1/3, Wq = 2/15. *)
+  let m = Oracle.mm1 ~lambda:2.0 ~mu:5.0 in
+  check_float "rho" 0.4 m.Oracle.rho;
+  check_float_eps 1e-12 "L" (2.0 /. 3.0) m.Oracle.n_sys;
+  check_float_eps 1e-12 "Lq" (4.0 /. 15.0) m.Oracle.n_queue;
+  check_float_eps 1e-12 "W" (1.0 /. 3.0) m.Oracle.sojourn;
+  check_float_eps 1e-12 "Wq" (2.0 /. 15.0) m.Oracle.waiting
+
+let mm1_little_law =
+  qtest "M/M/1 satisfies Little's law"
+    QCheck.(pair (float_range 0.1 10.0) (float_range 0.1 10.0))
+    (fun (lambda, mu) ->
+      QCheck.assume (lambda < 0.95 *. mu);
+      let m = Oracle.mm1 ~lambda ~mu in
+      Float.abs (m.Oracle.n_sys -. (lambda *. m.Oracle.sojourn)) < 1e-9
+      && Float.abs (m.Oracle.n_queue -. (lambda *. m.Oracle.waiting)) < 1e-9)
+
+let mm1_unstable () =
+  Alcotest.check_raises "saturated" (Oracle.Unstable "M/M/1 unstable: rho = 1 >= 1")
+    (fun () -> ignore (Oracle.mm1 ~lambda:3.0 ~mu:3.0));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Oracle.mm1: lambda must be positive") (fun () ->
+      ignore (Oracle.mm1 ~lambda:0.0 ~mu:3.0))
+
+let mm2_hand_computed () =
+  (* lambda = 2, mu = 1.5, c = 2: a = 4/3, rho = 2/3.  Erlang C
+     = (8/9 / (1/3)) / (1 + 4/3 + 8/9 / (1/3)) = 8/15.  Lq = 16/15,
+     Wq = 8/15, W = 6/5, L = 12/5. *)
+  let p_wait = Oracle.erlang_c ~lambda:2.0 ~mu:1.5 ~servers:2 in
+  check_float_eps 1e-12 "Erlang C" (8.0 /. 15.0) p_wait;
+  let m = Oracle.mmc ~lambda:2.0 ~mu:1.5 ~servers:2 in
+  check_float_eps 1e-12 "rho" (2.0 /. 3.0) m.Oracle.rho;
+  check_float_eps 1e-12 "Lq" (16.0 /. 15.0) m.Oracle.n_queue;
+  check_float_eps 1e-12 "Wq" (8.0 /. 15.0) m.Oracle.waiting;
+  check_float_eps 1e-12 "W" 1.2 m.Oracle.sojourn;
+  check_float_eps 1e-12 "L" 2.4 m.Oracle.n_sys
+
+let mmc_one_server_is_mm1 =
+  qtest "M/M/c with c = 1 coincides with M/M/1"
+    QCheck.(pair (float_range 0.1 5.0) (float_range 0.1 5.0))
+    (fun (lambda, mu) ->
+      QCheck.assume (lambda < 0.95 *. mu);
+      let a = Oracle.mm1 ~lambda ~mu and b = Oracle.mmc ~lambda ~mu ~servers:1 in
+      Float.abs (a.Oracle.n_sys -. b.Oracle.n_sys) < 1e-9
+      && Float.abs (a.Oracle.sojourn -. b.Oracle.sojourn) < 1e-9)
+
+let mmc_unstable () =
+  Alcotest.check_raises "saturated" (Oracle.Unstable "M/M/2 unstable: rho = 1 >= 1")
+    (fun () -> ignore (Oracle.mmc ~lambda:6.0 ~mu:3.0 ~servers:2))
+
+let repairman_single_client () =
+  (* One client, any think time: response is exactly the service time
+     (never any queueing), utilization S / (S + T). *)
+  let r = Oracle.machine_repairman ~clients:1 ~think_time:0.2 ~service_time:0.05 in
+  check_float_eps 1e-12 "response" 0.05 r.Oracle.response;
+  check_float_eps 1e-12 "utilization" 0.2 r.Oracle.utilization;
+  check_float_eps 1e-12 "throughput" 4.0 r.Oracle.throughput
+
+let repairman_two_clients () =
+  (* N = 2, T = 0.1, S = 0.1: r = 1, p = [1; 2; 2] / 5.
+     U = 4/5, X = 8, L = (2 + 4) / 5 = 1.2, R = 0.15. *)
+  let r = Oracle.machine_repairman ~clients:2 ~think_time:0.1 ~service_time:0.1 in
+  check_float_eps 1e-12 "utilization" 0.8 r.Oracle.utilization;
+  check_float_eps 1e-12 "throughput" 8.0 r.Oracle.throughput;
+  check_float_eps 1e-12 "in system" 1.2 r.Oracle.in_system;
+  check_float_eps 1e-12 "response" 0.15 r.Oracle.response
+
+let repairman_saturated () =
+  let r = Oracle.machine_repairman ~clients:4 ~think_time:0.0 ~service_time:0.02 in
+  check_float "utilization" 1.0 r.Oracle.utilization;
+  check_float "throughput" 50.0 r.Oracle.throughput;
+  check_float "in system" 4.0 r.Oracle.in_system;
+  check_float_eps 1e-12 "response" 0.08 r.Oracle.response
+
+let repairman_monotone =
+  qtest "repairman response grows with the client count"
+    QCheck.(triple (int_range 1 20) (float_range 0.01 1.0) (float_range 0.01 1.0))
+    (fun (clients, think_time, service_time) ->
+      let a = Oracle.machine_repairman ~clients ~think_time ~service_time in
+      let b = Oracle.machine_repairman ~clients:(clients + 1) ~think_time ~service_time in
+      b.Oracle.response >= a.Oracle.response -. 1e-12
+      && b.Oracle.utilization >= a.Oracle.utilization -. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Batch-means confidence intervals *)
+
+let ci_constant_samples () =
+  let ci = Ci.batch_means (Array.make 100 3.5) in
+  check_float "mean" 3.5 ci.Ci.mean;
+  check_float "half width" 0.0 ci.Ci.half_width;
+  check_int "batches" 20 ci.Ci.batches;
+  check_bool "within" true (Ci.within ci ~target:3.5)
+
+let ci_insufficient_data () =
+  let ci = Ci.batch_means [| 1.0; 2.0; 3.0 |] in
+  check_float "mean" 2.0 ci.Ci.mean;
+  check_bool "infinite half width" true (ci.Ci.half_width = infinity);
+  check_int "no batches" 0 ci.Ci.batches;
+  (* No spread estimate must never reject: any target is within. *)
+  check_bool "never rejects" true (Ci.within ci ~target:1e9);
+  let empty = Ci.batch_means [||] in
+  check_float "empty mean" 0.0 empty.Ci.mean;
+  check_bool "empty within" true (Ci.within empty ~target:42.0)
+
+let ci_t_critical () =
+  check_float "df 1" 12.706 (Ci.t_critical ~df:1);
+  check_float "df 30" 2.042 (Ci.t_critical ~df:30);
+  check_float "df 31 (normal)" 1.96 (Ci.t_critical ~df:31);
+  Alcotest.check_raises "df 0" (Invalid_argument "Ci.t_critical: df must be positive")
+    (fun () -> ignore (Ci.t_critical ~df:0))
+
+let ci_batches_shrink_to_fit () =
+  (* 10 samples on 20 requested batches: 5 batches of 2. *)
+  let ci = Ci.batch_means (Array.init 10 float_of_int) in
+  check_int "effective batches" 5 ci.Ci.batches;
+  check_float "mean" 4.5 ci.Ci.mean;
+  Alcotest.check_raises "batches < 2"
+    (Invalid_argument "Ci.batch_means: batches must be at least 2") (fun () ->
+      ignore (Ci.batch_means ~batches:1 [| 1.0; 2.0 |]))
+
+let ci_covers_iid_mean =
+  (* For iid gaussian samples the 95% batch-means interval should cover
+     the true mean nearly always; 3x the half-width makes the property
+     solid across 100 seeds while still failing on any systematic bias. *)
+  qtest "batch-means interval covers the true mean of iid samples"
+    QCheck.(int_range 0 10_000)
+    (fun salt ->
+      let rng = Prng.create ~seed:(31_000 + salt) in
+      let samples = Array.init 400 (fun _ -> Prng.gaussian rng ~mean:7.0 ~stddev:2.0) in
+      let ci = Ci.batch_means samples in
+      Float.abs (ci.Ci.mean -. 7.0) <= 3.0 *. ci.Ci.half_width)
+
+(* ------------------------------------------------------------------ *)
+(* The sweep itself: measured vs analytic *)
+
+let sweep_quick_grid_agrees () =
+  let results = Sweep.run_grid ~horizon:120.0 ~warmup:15.0 Sweep.quick_grid in
+  check_int "all points ran" 3 (List.length results);
+  List.iter
+    (fun r ->
+      check_bool
+        (Printf.sprintf "%s agrees" (Sweep.point_key r.Sweep.point))
+        true r.Sweep.pass)
+    results
+
+let sweep_dvfs_case () =
+  (* The powersave point: the governor pins 1600 MHz, so the oracle's
+     service rate must be scaled by ratio*cf = 0.6 — with the unscaled
+     rate the targets would be off by 40%. *)
+  let p = Sweep.point ~rho:0.6 ~service_mean:0.1 ~servers:1 ~policy:Sweep.Powersave in
+  (* 1600 / 2667 with cf = 1 on the Optiplex. *)
+  check_float_eps 1e-4 "effective speed" 0.59993 (Sweep.speed_of_policy Sweep.Powersave);
+  let r = Sweep.run_point ~horizon:200.0 ~warmup:20.0 p in
+  check_float_eps 1e-4 "result speed" 0.59993 r.Sweep.speed;
+  check_bool "DVFS point agrees with the scaled oracle" true r.Sweep.pass
+
+let sweep_perturbed_oracle_flips () =
+  (* The injected-bug check: a 20% mis-scaled service rate must flip the
+     table (the simulator is untouched; only the oracle is perturbed). *)
+  let ok = Sweep.run_grid ~horizon:200.0 ~warmup:20.0 Sweep.quick_grid in
+  let bad = Sweep.run_grid ~horizon:200.0 ~warmup:20.0 ~mu_scale:0.8 Sweep.quick_grid in
+  check_int "healthy table all-pass" 0 (List.length (Sweep.failures ok));
+  check_bool "perturbed table has disagreements" true (Sweep.failures bad <> []);
+  (* The M/M/3 point has the tightest CI; it must individually flip. *)
+  let mm3 = List.nth bad 2 in
+  check_int "M/M/3 point" 3 mm3.Sweep.point.Sweep.servers;
+  check_bool "M/M/3 flips" false mm3.Sweep.pass
+
+let sweep_property =
+  (* Randomised grid: any stable (rho, service, c, policy) combination
+     must agree with the closed form.  Seeds are derived from the point
+     parameters, so each generated case is itself deterministic. *)
+  qtest ~count:8 "measured agrees with M/M/c across a random grid"
+    QCheck.(
+      quad (float_range 0.2 0.7) (float_range 0.05 0.15) (int_range 1 3) bool)
+    (fun (rho, service_mean, servers, fast) ->
+      let policy = if fast then Sweep.Performance else Sweep.Powersave in
+      let p = Sweep.point ~rho ~service_mean ~servers ~policy in
+      let r = Sweep.run_point ~horizon:200.0 ~warmup:20.0 p in
+      r.Sweep.pass)
+
+let sweep_rejects_bad_arguments () =
+  Alcotest.check_raises "rho" (Invalid_argument "Sweep.point: rho must be in (0, 1)")
+    (fun () ->
+      ignore (Sweep.point ~rho:1.0 ~service_mean:0.1 ~servers:1 ~policy:Sweep.Performance));
+  Alcotest.check_raises "jobs" (Invalid_argument "Sweep.run_grid: jobs must be positive")
+    (fun () -> ignore (Sweep.run_grid ~jobs:0 Sweep.quick_grid));
+  Alcotest.check_raises "metric" (Invalid_argument "Sweep.verdict_of: no bogus verdict")
+    (fun () ->
+      let r = List.hd (Sweep.run_grid ~horizon:40.0 ~warmup:5.0 [ List.hd Sweep.quick_grid ]) in
+      ignore (Sweep.verdict_of r "bogus"))
+
+(* Differential determinism (the PR 2 harness pattern): the CSV artifact
+   must be byte-identical whatever the pool size. *)
+let sweep_csv_deterministic () =
+  let csv jobs = Sweep.to_csv (Sweep.run_grid ~jobs ~horizon:40.0 ~warmup:5.0 Sweep.quick_grid) in
+  let serial = csv 1 in
+  check_bool "csv has a body" true (String.length serial > String.length Sweep.csv_header);
+  Alcotest.(check string) "jobs 2 = serial" serial (csv 2);
+  Alcotest.(check string) "jobs 4 = serial" serial (csv 4)
+
+(* ------------------------------------------------------------------ *)
+(* Open_loop workload basics (the source the sweep drives) *)
+
+module Open_loop = Workloads.Open_loop
+module Workload = Workloads.Workload
+
+let open_loop_invalid () =
+  Alcotest.check_raises "rate" (Invalid_argument "Open_loop.create: rate must be positive")
+    (fun () -> ignore (Open_loop.create ~rate:0.0 ~service_mean:0.1 ()));
+  Alcotest.check_raises "service"
+    (Invalid_argument "Open_loop.create: service_mean must be positive") (fun () ->
+      ignore (Open_loop.create ~rate:1.0 ~service_mean:0.0 ()));
+  Alcotest.check_raises "servers"
+    (Invalid_argument "Open_loop.create: servers must be positive") (fun () ->
+      ignore (Open_loop.create ~servers:0 ~rate:1.0 ~service_mean:0.1 ()));
+  Alcotest.check_raises "multi-server workload"
+    (Invalid_argument "Open_loop.workload: a multi-server station must be driven by step")
+    (fun () -> ignore (Open_loop.workload (Open_loop.create ~servers:2 ~rate:1.0 ~service_mean:0.1 ())))
+
+let drive_workload src ~ticks ~speed =
+  let w = Open_loop.workload src in
+  let tick = Sim_time.of_ms 1 in
+  let now = ref Sim_time.zero in
+  for _ = 1 to ticks do
+    Workload.advance w ~now:!now ~dt:tick;
+    if Workload.has_work w then ignore (Workload.execute w ~now:!now ~cpu_time:tick ~speed);
+    now := Sim_time.add !now tick
+  done
+
+let open_loop_conservation () =
+  let src = Open_loop.create ~seed:7 ~rate:20.0 ~service_mean:0.01 () in
+  drive_workload src ~ticks:60_000 ~speed:1.0;
+  check_int "arrivals = completed + in flight"
+    (Open_loop.arrivals src)
+    (Open_loop.completed_requests src + Open_loop.in_system src);
+  check_int "sojourn sample per completion" (Open_loop.completed_requests src)
+    (Array.length (Open_loop.sojourn_samples src));
+  check_int "queue sample per arrival" (Open_loop.arrivals src)
+    (Array.length (Open_loop.queue_seen_samples src))
+
+let open_loop_poisson_rate () =
+  let src = Open_loop.create ~seed:11 ~rate:50.0 ~service_mean:0.005 () in
+  drive_workload src ~ticks:100_000 ~speed:1.0;
+  (* 100 s at 50 req/s: 5000 expected, sd ~ 71; allow 5 sigma. *)
+  let n = float_of_int (Open_loop.arrivals src) in
+  check_bool "arrival count near rate * horizon" true (Float.abs (n -. 5000.0) < 355.0)
+
+let open_loop_busy_tracks_offered_work () =
+  let src = Open_loop.create ~seed:13 ~rate:30.0 ~service_mean:0.01 () in
+  drive_workload src ~ticks:100_000 ~speed:0.6;
+  (* Offered work 0.3 abs/s at speed 0.6 -> busy fraction ~0.5 of 100 s. *)
+  let busy = Open_loop.busy_time src in
+  check_bool "busy time near offered / speed" true (busy > 42.0 && busy < 58.0)
+
+let open_loop_reset_keeps_backlog () =
+  let src = Open_loop.create ~seed:17 ~rate:100.0 ~service_mean:0.1 () in
+  (* Saturated: rho = 10, a backlog builds up. *)
+  drive_workload src ~ticks:2_000 ~speed:1.0;
+  let backlog = Open_loop.in_system src in
+  check_bool "backlog built" true (backlog > 0);
+  Open_loop.reset_stats src;
+  check_int "counters cleared" 0 (Open_loop.arrivals src);
+  check_int "completions cleared" 0 (Open_loop.completed_requests src);
+  check_int "backlog survives reset" backlog (Open_loop.in_system src);
+  drive_workload src ~ticks:100 ~speed:1.0;
+  check_bool "keeps serving the old backlog" true (Open_loop.completed_requests src > 0)
+
+let open_loop_station_parallelism () =
+  (* Two saturating streams: a 2-server station must complete ~2x what a
+     single server does at the same speed. *)
+  let run servers =
+    let src = Open_loop.create ~seed:23 ~servers ~rate:400.0 ~service_mean:0.01 () in
+    let tick = Sim_time.of_ms 1 in
+    let now = ref Sim_time.zero in
+    for _ = 1 to 30_000 do
+      Open_loop.step src ~now:!now ~dt:tick ~speed:1.0;
+      now := Sim_time.add !now tick
+    done;
+    Open_loop.completed_requests src
+  in
+  let one = run 1 and two = run 2 in
+  let r = float_of_int two /. float_of_int one in
+  check_bool "two servers double the throughput" true (r > 1.9 && r < 2.1)
+
+let () =
+  Alcotest.run "validate"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "M/M/1 textbook" `Quick mm1_textbook;
+          Alcotest.test_case "M/M/1 unstable" `Quick mm1_unstable;
+          Alcotest.test_case "M/M/2 hand computed" `Quick mm2_hand_computed;
+          Alcotest.test_case "M/M/c unstable" `Quick mmc_unstable;
+          Alcotest.test_case "repairman single client" `Quick repairman_single_client;
+          Alcotest.test_case "repairman two clients" `Quick repairman_two_clients;
+          Alcotest.test_case "repairman saturated" `Quick repairman_saturated;
+          mm1_little_law;
+          mmc_one_server_is_mm1;
+          repairman_monotone;
+        ] );
+      ( "ci",
+        [
+          Alcotest.test_case "constant samples" `Quick ci_constant_samples;
+          Alcotest.test_case "insufficient data" `Quick ci_insufficient_data;
+          Alcotest.test_case "t critical" `Quick ci_t_critical;
+          Alcotest.test_case "batches shrink to fit" `Quick ci_batches_shrink_to_fit;
+          ci_covers_iid_mean;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "quick grid agrees" `Quick sweep_quick_grid_agrees;
+          Alcotest.test_case "DVFS case" `Quick sweep_dvfs_case;
+          Alcotest.test_case "perturbed oracle flips" `Quick sweep_perturbed_oracle_flips;
+          Alcotest.test_case "rejects bad arguments" `Quick sweep_rejects_bad_arguments;
+          Alcotest.test_case "csv determinism across pools" `Quick sweep_csv_deterministic;
+          sweep_property;
+        ] );
+      ( "open_loop",
+        [
+          Alcotest.test_case "invalid" `Quick open_loop_invalid;
+          Alcotest.test_case "conservation" `Quick open_loop_conservation;
+          Alcotest.test_case "poisson rate" `Quick open_loop_poisson_rate;
+          Alcotest.test_case "busy tracks offered work" `Quick open_loop_busy_tracks_offered_work;
+          Alcotest.test_case "reset keeps backlog" `Quick open_loop_reset_keeps_backlog;
+          Alcotest.test_case "station parallelism" `Quick open_loop_station_parallelism;
+        ] );
+    ]

@@ -219,12 +219,61 @@ let web_conservation =
 let closed_loop_invalid () =
   Alcotest.check_raises "clients" (Invalid_argument "Closed_loop.create: clients must be positive")
     (fun () -> ignore (Workloads.Closed_loop.create ~clients:0 ~think_time:1.0 ~request_work:0.01 ()));
-  Alcotest.check_raises "think" (Invalid_argument "Closed_loop.create: think_time must be positive")
-    (fun () -> ignore (Workloads.Closed_loop.create ~clients:1 ~think_time:0.0 ~request_work:0.01 ()))
+  Alcotest.check_raises "think"
+    (Invalid_argument "Closed_loop.create: think_time must be non-negative") (fun () ->
+      ignore (Workloads.Closed_loop.create ~clients:1 ~think_time:(-1.0) ~request_work:0.01 ()))
 
 let closed_loop_offered () =
   let cl = Workloads.Closed_loop.create ~clients:4 ~think_time:2.0 ~request_work:0.01 () in
-  check_float_eps 1e-9 "offered load" 0.02 (Workloads.Closed_loop.offered_load cl)
+  check_float_eps 1e-9 "offered load" 0.02 (Workloads.Closed_loop.offered_load cl);
+  (* Zero think time is legal (saturated clients) and offers unbounded load. *)
+  let sat = Workloads.Closed_loop.create ~clients:2 ~think_time:0.0 ~request_work:0.01 () in
+  check_bool "saturated offered load" true
+    (Workloads.Closed_loop.offered_load sat = infinity)
+
+(* Drive a closed loop by hand at 1 ms ticks and full speed. *)
+let drive_closed cl ~ticks =
+  let w = Workloads.Closed_loop.workload cl in
+  let tick = ms 1 in
+  let now = ref Sim_time.zero in
+  for _ = 1 to ticks do
+    Workload.advance w ~now:!now ~dt:tick;
+    if Workload.has_work w then ignore (Workload.execute w ~now:!now ~cpu_time:tick ~speed:1.0);
+    now := Sim_time.add !now tick
+  done
+
+let closed_loop_saturated () =
+  (* think_time = 0: every completion resubmits instantly, so the server
+     never idles and throughput is exactly 1 / request_work. *)
+  let cl = Workloads.Closed_loop.create ~clients:3 ~think_time:0.0 ~request_work:0.01 () in
+  drive_closed cl ~ticks:10_000;
+  let served = Workloads.Closed_loop.completed_requests cl in
+  (* 10 s of back-to-back 10 ms requests: 1000, minus boundary effects. *)
+  check_bool "server never idles" true (served >= 995 && served <= 1000)
+
+let closed_loop_matches_repairman () =
+  (* Measured mean response vs the M/M/1//N machine-repairman closed form
+     (lib/validate oracle): N = 3, T = 0.3 s, S = 0.03 s gives
+     R = 35.9 ms.  300 s of 1 ms ticks ~ 2600 requests; the tolerance is
+     15% relative + 2 ms for tick quantisation (arrivals and completions
+     are only visible at tick boundaries). *)
+  let clients = 3 and think_time = 0.3 and service_time = 0.03 in
+  let cl =
+    Workloads.Closed_loop.create ~seed:97 ~clients ~think_time ~request_work:service_time ()
+  in
+  drive_closed cl ~ticks:300_000;
+  let oracle = Validate.Oracle.machine_repairman ~clients ~think_time ~service_time in
+  let measured = Stats.Running.mean (Workloads.Closed_loop.response_times cl) in
+  let slack = (0.15 *. oracle.Validate.Oracle.response) +. 0.002 in
+  check_bool
+    (Printf.sprintf "measured %.4f vs analytic %.4f" measured oracle.Validate.Oracle.response)
+    true
+    (Float.abs (measured -. oracle.Validate.Oracle.response) <= slack);
+  (* Throughput must match too (Little's law on the same model). *)
+  let x_measured = float_of_int (Workloads.Closed_loop.completed_requests cl) /. 300.0 in
+  check_bool "throughput near analytic" true
+    (Float.abs (x_measured -. oracle.Validate.Oracle.throughput)
+    <= 0.1 *. oracle.Validate.Oracle.throughput)
 
 let closed_loop_self_throttles () =
   let cl = Workloads.Closed_loop.create ~clients:2 ~think_time:0.5 ~request_work:0.005 () in
@@ -361,6 +410,8 @@ let () =
           Alcotest.test_case "invalid" `Quick closed_loop_invalid;
           Alcotest.test_case "offered load" `Quick closed_loop_offered;
           Alcotest.test_case "self throttles" `Quick closed_loop_self_throttles;
+          Alcotest.test_case "saturated clients" `Quick closed_loop_saturated;
+          Alcotest.test_case "matches machine repairman" `Quick closed_loop_matches_repairman;
         ] );
       ( "markov",
         [
