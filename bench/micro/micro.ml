@@ -22,6 +22,8 @@ module Processor = Cpu_model.Processor
 module Sim_time = Sim_engine.Sim_time
 module Simulator = Sim_engine.Simulator
 module Series = Sim_engine.Series
+module Calendar = Sim_engine.Calendar
+module Open_loop = Workloads.Open_loop
 
 type result = { name : string; ops : int; ns_per_op : float; words_per_op : float }
 
@@ -143,6 +145,80 @@ let bench_smp_dispatch_tick () =
   measure ~name:"smp/dispatch-tick" ~ops:100_000 ~warmup:1_000 (fun () ->
       Smp_host.Internal.dispatch_tick host ())
 
+let bench_smp_sample_tick () =
+  let sim = Simulator.create () in
+  let smp = Cpu_model.Smp.create ~cores:2 Cpu_model.Arch.optiplex_755 in
+  let scheduler = Sched_credit.create ~host_capacity:2 (busy_domains ()) in
+  let host = Smp_host.create ~sim ~smp ~scheduler () in
+  let ops = 100_000 in
+  measure ~name:"smp/sample-tick" ~ops ~warmup:ops
+    ~reset:(fun () -> Smp_host.Internal.reset_series host)
+    (fun () -> Smp_host.Internal.sample host ())
+
+(* Steady-state wheel traffic: every op pushes at a cursor that advances 16
+   key units and pops the minimum, so occupancy, bucket spread, and heap
+   capacities are all constant after warm-up — any words/op left is a real
+   per-op allocation in the push/pop paths. *)
+let bench_calendar name () =
+  let cal = Calendar.create ~key:(fun x -> x) ~cmp:Int.compare in
+  let cursor = ref 0 in
+  for _ = 1 to 1024 do
+    Calendar.push cal (!cursor * 16);
+    incr cursor
+  done;
+  (* The warm-up must lap the whole wheel (256 buckets x 64 ops per bucket)
+     so every slot's heap reaches its steady capacity before measuring. *)
+  measure ~name ~ops:100_000 ~warmup:40_000 (fun () ->
+      Calendar.push cal (!cursor * 16);
+      incr cursor;
+      ignore (Calendar.pop_exn cal))
+
+let bench_series_add_cell () =
+  let s = Series.create ~name:"bench" in
+  let cell = Series.cell () in
+  let i = ref 0 in
+  let ops = 100_000 in
+  measure ~name:"series/add-cell" ~ops ~warmup:ops
+    ~reset:(fun () ->
+      Series.reset s;
+      i := 0)
+    (fun () ->
+      cell.Series.value <- float_of_int !i;
+      Series.add_cell s (Sim_time.of_us !i) cell;
+      incr i)
+
+(* Drain mode: a primed backlog is served with [now] frozen, so the
+   measured loop never enters arrival injection — the one stage allowed to
+   allocate (it draws from the boxed-state Prng) — and words/op isolates
+   the pool/ring service path. *)
+let bench_openloop_step () =
+  let station =
+    Open_loop.create ~seed:7 ~servers:2 ~rate:100.0 ~service_mean:100.0 ()
+  in
+  let now = Sim_time.of_sec 100 in
+  let dt = Sim_time.of_ms 1 in
+  (* One long prime injects ~10k requests of 100 absolute seconds each —
+     backlog for far more service than the measured loop performs. *)
+  Open_loop.step station ~now ~dt:(Sim_time.of_us 1) ~speed:1.0;
+  measure ~name:"openloop/step" ~ops:100_000 ~warmup:1_000
+    ~reset:(fun () -> Open_loop.reset_stats station)
+    (fun () -> Open_loop.step station ~now ~dt ~speed:1.0)
+
+let bench_credit_pick () =
+  let scheduler = Sched_credit.create (busy_domains ()) in
+  let exclude = Scheduler.Mask.create () in
+  let now = Sim_time.zero and remaining = Sim_time.of_ms 1 in
+  measure ~name:"credit/pick" ~ops:100_000 ~warmup:1_000 (fun () ->
+      ignore (scheduler.Scheduler.pick ~now ~remaining ~exclude))
+
+let bench_credit_charge () =
+  let domains = contended_domains () in
+  let scheduler = Sched_credit.create ~host_capacity:4 domains in
+  let domain = List.nth domains 1 in
+  let now = Sim_time.zero and used = Sim_time.of_us 10 in
+  measure ~name:"credit/charge" ~ops:100_000 ~warmup:1_000 (fun () ->
+      scheduler.Scheduler.charge ~domain ~now ~used)
+
 let bench_frame_csv () =
   let frame = Series.Frame.create () in
   for j = 0 to 3 do
@@ -164,13 +240,38 @@ let all_benches =
     bench_dispatch_tick_capped;
     bench_sample_tick;
     bench_smp_dispatch_tick;
+    bench_smp_sample_tick;
+    bench_calendar "calendar/push";
+    bench_calendar "calendar/pop";
+    bench_series_add_cell;
+    bench_openloop_step;
+    bench_credit_pick;
+    bench_credit_charge;
     bench_frame_csv;
   ]
 
-(* Paths whose steady state must not allocate.  words/op below the epsilon
-   is measurement noise (the meter's own constant boxes amortised over the
-   op count), not a per-op allocation. *)
-let zero_alloc_names = [ "host/dispatch-tick"; "host/sample-tick"; "smp/dispatch-tick" ]
+(* Paths whose steady state must not allocate, each tied to the statically
+   annotated hot root it exercises (the key [analyze_main --alloc-roots]
+   prints).  The consistency test diffs the two sides: a root without a
+   measuring bench and a bench without a proving root both fail, so the
+   static prover and this dynamic meter can never drift apart.  words/op
+   below the epsilon is measurement noise (the meter's own constant boxes
+   amortised over the op count), not a per-op allocation. *)
+let zero_alloc_roots =
+  [
+    ("host/dispatch-tick", "Host.dispatch_tick");
+    ("host/sample-tick", "Host.sample");
+    ("smp/dispatch-tick", "Smp_host.dispatch_tick");
+    ("smp/sample-tick", "Smp_host.sample");
+    ("calendar/push", "Calendar.push");
+    ("calendar/pop", "Calendar.pop_exn");
+    ("series/add-cell", "Series.add_cell");
+    ("openloop/step", "Open_loop.step");
+    ("credit/pick", "Sched_credit.pick");
+    ("credit/charge", "Sched_credit.charge");
+  ]
+
+let zero_alloc_names = List.map fst zero_alloc_roots
 let zero_alloc_epsilon = 0.01
 
 let results_json results =
@@ -255,11 +356,18 @@ let compare_manifests ~baseline_path ~current_path ~tolerance =
 let usage () =
   prerr_endline
     "usage: micro run [--out FILE] [--check]\n\
+    \       micro roots\n\
     \       micro compare BASELINE.json CURRENT.json [--tolerance T]";
   exit 2
 
 let () =
   match Array.to_list Sys.argv with
+  | [ _; "roots" ] ->
+      (* The dynamic half of the zero-alloc consistency contract: the hot
+         root keys this binary's --check gate measures, in the same
+         one-per-line form analyze_main --alloc-roots prints. *)
+      List.iter print_endline
+        (List.sort_uniq String.compare (List.map snd zero_alloc_roots))
   | _ :: "run" :: rest ->
       let rec parse out check = function
         | [] -> run_benches ~out ~check

@@ -1,8 +1,9 @@
 (* Driver for the AST analysis passes (dune build @analyze): parses every
    compilation unit under the given roots with compiler-libs and runs the
    per-file unit-of-measure and domain-safety checks plus the
-   whole-program determinism-effect and lock-discipline passes (see
-   lib/staticcheck).  Exits nonzero if any rule fires.
+   whole-program determinism-effect, lock-discipline and
+   allocation-effect passes (see lib/staticcheck).  Exits nonzero if any
+   rule fires.
 
    --sarif FILE            write the issues as SARIF 2.1.0 (written even
                            when clean, so CI can always upload it)
@@ -10,8 +11,15 @@
                            only findings absent from the baseline fail
                            the build; matching is by (file, rule,
                            message), line-insensitive
-   --timing FILE           write {"analyze_seconds": …} so the bench
-                           manifest can gate analyzer wall-time
+   --timing FILE           write {"analyze_seconds": …} plus per-pass
+                           wall times so the bench manifest can gate
+                           analyzer wall-time
+   --jobs N                N > 1 runs the interprocedural passes on
+                           their own domains; output is byte-identical
+                           for every N
+   --alloc-roots           print the (* alloc: none *) hot-root keys,
+                           one per line, and exit — the static half of
+                           the zero-alloc consistency contract
    --explain RULE          print what RULE means, how to fix and how to
                            waive it, then exit *)
 
@@ -20,22 +28,27 @@ let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
 let usage () =
   Format.eprintf
     "usage: analyze_main [--sarif FILE] [--sarif-baseline FILE] [--timing FILE] \
-     [--explain RULE] [root ...]@.";
+     [--jobs N] [--alloc-roots] [--explain RULE] [root ...]@.";
   exit 2
 
-let write_timing ~path seconds =
+let write_timing ~path seconds passes =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Printf.fprintf oc
-        "{\n  \"schema\": \"dvfs-analyze-timing/1\",\n  \"analyze_seconds\": %.3f\n}\n"
-        seconds)
+      Printf.fprintf oc "{\n  \"schema\": \"dvfs-analyze-timing/1\",\n";
+      Printf.fprintf oc "  \"analyze_seconds\": %.3f" seconds;
+      List.iter
+        (fun (name, s) -> Printf.fprintf oc ",\n  \"%s_seconds\": %.3f" name s)
+        passes;
+      Printf.fprintf oc "\n}\n")
 
 let () =
   let sarif = ref None in
   let baseline = ref None in
   let timing = ref None in
+  let jobs = ref 1 in
+  let alloc_roots = ref false in
   let roots = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -49,7 +62,17 @@ let () =
     | "--timing" :: path :: rest ->
         timing := Some path;
         parse_args rest
-    | [ ("--sarif" | "--sarif-baseline" | "--timing" | "--explain") ] -> usage ()
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse_args rest
+        | _ -> usage ())
+    | "--alloc-roots" :: rest ->
+        alloc_roots := true;
+        parse_args rest
+    | [ ("--sarif" | "--sarif-baseline" | "--timing" | "--jobs" | "--explain") ] ->
+        usage ()
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
     | root :: rest ->
         roots := root :: !roots;
@@ -63,10 +86,16 @@ let () =
         Report.check_roots ~tool:"analyze" roots;
         roots
   in
+  if !alloc_roots then begin
+    List.iter print_endline (Staticcheck.alloc_roots_of_paths roots);
+    exit 0
+  end;
   let t0 = Unix.gettimeofday () in
-  let issues = Staticcheck.analyze_paths roots in
+  let issues, passes =
+    Staticcheck.analyze_paths_timed ~jobs:!jobs ~clock:Unix.gettimeofday roots
+  in
   let seconds = Unix.gettimeofday () -. t0 in
-  Option.iter (fun path -> write_timing ~path seconds) !timing;
+  Option.iter (fun path -> write_timing ~path seconds passes) !timing;
   Option.iter (fun path -> Staticcheck.Sarif.save ~tool:"staticcheck" issues ~path) !sarif;
   match !baseline with
   | None -> exit (Report.report ~tool:"analyze" issues)

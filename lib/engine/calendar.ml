@@ -42,6 +42,7 @@ let create ~key ~cmp =
 let length t = t.size
 let is_empty t = t.size = 0
 
+(* alloc: none *)
 let push t x =
   let vb = t.key x lsr shift in
   if vb - t.base >= n_buckets then Heap.push t.overflow x
@@ -96,6 +97,7 @@ let next_key t =
   let slot = locate t in
   if slot < 0 then max_int else t.key (Heap.top_exn t.buckets.(slot))
 
+(* alloc: none *)
 let pop_exn t =
   let slot = locate t in
   if slot < 0 then invalid_arg "Calendar.pop_exn: empty queue";

@@ -4,7 +4,10 @@ let create ~cmp = { cmp; data = [||]; size = 0 }
 let length h = h.size
 let is_empty h = h.size = 0
 
-let grow h x =
+(* Capacity doubling runs O(log n) times over a heap's life; the
+   steady-state push pays only the full-capacity test. *)
+(* alloc: cold *)
+let[@inline never] grow h x =
   let cap = Array.length h.data in
   if h.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in

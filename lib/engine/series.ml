@@ -10,6 +10,9 @@ let length t = Vec.length t.times
 
 let[@inline never] bad_time () = invalid_arg "Series.add: non-monotonic time"
 
+(* Sanitizer path: runs only when Analysis.Config is enabled, and the
+   checker's interface boxes the sample anyway. *)
+(* alloc: cold *)
 let[@inline never] checked_push t time value =
   Analysis.Check.finite inv_finite ~time_s:(Sim_time.to_sec time)
     ~component:("series:" ^ t.name) ~what:"sample" value;
@@ -38,6 +41,7 @@ let cell = Vec.Floats.cell
    float vector by [push_cell] (raw load + store) — it never crosses a
    call boundary as an argument, where it would be boxed without
    cross-module inlining. *)
+(* alloc: none *)
 let add_cell t time (c : cell) =
   let n = Vec.length t.times in
   if n > 0 && Sim_time.compare time (Vec.get t.times (n - 1)) < 0 then bad_time ();
@@ -137,7 +141,7 @@ module Frame = struct
       if not !found then emitting := false
       else begin
         let time = !tmin in
-        Printf.bprintf buf "%.6f" (Sim_time.to_sec time);
+        Printf.bprintf buf "%.6f" (Sim_time.to_sec time); (* lint:ignore hot-path-printf: CSV export renders off the recording path *)
         for j = 0 to k - 1 do
           let s = Vec.get t.members j in
           while
@@ -148,7 +152,8 @@ module Frame = struct
           done;
           Buffer.add_char buf ',';
           if next.(j) > 0 then
-            Printf.bprintf buf "%.6f" (Vec.Floats.get s.values (next.(j) - 1))
+            Printf.bprintf buf "%.6f" (* lint:ignore hot-path-printf: CSV export renders off the recording path *)
+              (Vec.Floats.get s.values (next.(j) - 1))
         done;
         Buffer.add_char buf '\n'
       end

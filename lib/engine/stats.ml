@@ -12,9 +12,13 @@ module Running = struct
 
   let create () = { n = 0; acc = { mean = 0.0; m2 = 0.0; mn = nan; mx = nan } }
 
-  let add t x =
-    if Analysis.Config.enabled () then
-      Analysis.Check.finite inv_finite ~component:"stats.running" ~what:"sample" x;
+  (* Sanitizer path: runs only when Analysis.Config is enabled, and the
+     checker's interface boxes the sample anyway. *)
+  (* alloc: cold *)
+  let[@inline never] checked x =
+    Analysis.Check.finite inv_finite ~component:"stats.running" ~what:"sample" x
+
+  let[@inline always] update t x =
     t.n <- t.n + 1;
     let a = t.acc in
     let delta = x -. a.mean in
@@ -28,6 +32,19 @@ module Running = struct
       if x < a.mn then a.mn <- x;
       if x > a.mx then a.mx <- x
     end
+
+  let add t x =
+    if Analysis.Config.enabled () then checked x;
+    update t x
+
+  (* [add] with the sample delivered through a caller-owned scratch cell
+     (the [Series.add_cell] idiom): the fresh float is stored into the flat
+     cell by the caller and loaded here as a raw float, so it never crosses
+     a call boundary as an argument, where it would be boxed without
+     cross-module inlining. *)
+  let add_cell t (c : Vec.Floats.cell) =
+    if Analysis.Config.enabled () then checked c.Vec.Floats.value;
+    update t c.Vec.Floats.value
 
   let count t = t.n
   let mean t = if t.n = 0 then 0.0 else t.acc.mean

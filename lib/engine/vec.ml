@@ -15,7 +15,9 @@ let set v i x =
   v.data.(i) <- x
 
 (* Growth is hoisted out of [push] so the common append inlines to a
-   bounds test and a store. *)
+   bounds test and a store; doubling runs O(log n) times over a vector's
+   life. *)
+(* alloc: cold *)
 let[@inline never] grow v x =
   let cap = Array.length v.data in
   let ncap = if cap = 0 then 16 else cap * 2 in
@@ -70,6 +72,8 @@ module Floats = struct
     if i < 0 || i >= v.size then invalid_arg "Vec.Floats: index out of bounds";
     v.data.(i)
 
+  (* Doubling runs O(log n) times over a vector's life. *)
+  (* alloc: cold *)
   let[@inline never] grow v =
     let cap = Array.length v.data in
     let ncap = if cap = 0 then 16 else cap * 2 in

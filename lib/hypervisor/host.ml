@@ -115,8 +115,19 @@ let rec tick_loop t ~current ~speed ~remaining ~busy =
           else tick_loop t ~current ~speed ~remaining ~busy
         end
 
+(* Off-by-default sanitizer: the enabled check stays in the caller, so the
+   tick pays one branch when sanitizers are off. *)
+(* alloc: cold *)
+let[@inline never] check_tick_util ~current ~util =
+  if Float.is_finite util && util >= 0.0 && util <= 1.0 then
+    Analysis.Check.pass inv_tick_util
+  else
+    Analysis.Check.fail inv_tick_util ~time_s:(Sim_time.to_sec current) ~component:"host"
+      (Printf.sprintf "tick utilization = %.9g outside [0, 1]" util) (* lint:ignore hot-path-printf: cold sanitizer failure message *)
+
 (* One dispatch tick: advance workloads, then hand out the tick to domains
    as the scheduler directs. *)
+(* alloc: none *)
 let dispatch_tick t () =
   let current = now t in
   let quantum = t.config.quantum in
@@ -127,20 +138,27 @@ let dispatch_tick t () =
   Scheduler.Mask.clear t.exclude;
   let busy = tick_loop t ~current ~speed ~remaining:quantum ~busy:Sim_time.zero in
   t.total_busy <- Sim_time.add t.total_busy busy;
-  if Analysis.Config.enabled () then begin
-    let util = sec_of busy /. sec_of quantum in
-    if Float.is_finite util && util >= 0.0 && util <= 1.0 then
-      Analysis.Check.pass inv_tick_util
-    else
-      Analysis.Check.fail inv_tick_util ~time_s:(Sim_time.to_sec current) ~component:"host"
-        (Printf.sprintf "tick utilization = %.9g outside [0, 1]" util)
-  end;
+  if Analysis.Config.enabled () then
+    check_tick_util ~current ~util:(sec_of busy /. sec_of quantum);
   Processor.record_busy t.processor ~dt:quantum ~busy
+
+(* Trace runs are observability runs, not perf runs; the [match t.trace]
+   dispatch stays in the caller. *)
+(* alloc: cold *)
+let[@inline never] trace_freq_change t tr ~current ~freq =
+  let n = Series.length t.freq_series in
+  if n > 0 then begin
+    let prev = Series.nth_value t.freq_series (n - 1) in
+    if int_of_float prev <> freq then
+      Trace.recordf tr ~time:current ~source:"dvfs" "frequency %d -> %d MHz"
+        (int_of_float prev) freq
+  end
 
 (* Samples travel through the host's scratch cell ({!Series.add_cell}):
    each freshly computed float is stored into the flat cell and copied into
    the series' float vector without ever being a call argument, so the
    sampling tick allocates nothing in steady state. *)
+(* alloc: none *)
 let sample t () =
   let current = now t in
   let dt = sec_of t.config.sample_period in
@@ -160,14 +178,7 @@ let sample t () =
   done;
   let freq = Processor.current_freq t.processor in
   (match t.trace with
-  | Some tr ->
-      let n = Series.length t.freq_series in
-      if n > 0 then begin
-        let prev = Series.nth_value t.freq_series (n - 1) in
-        if int_of_float prev <> freq then
-          Trace.recordf tr ~time:current ~source:"dvfs" "frequency %d -> %d MHz"
-            (int_of_float prev) freq
-      end
+  | Some tr -> trace_freq_change t tr ~current ~freq
   | None -> ());
   cell.Series.value <- float_of_int freq;
   Series.add_cell t.freq_series current cell;

@@ -7,7 +7,10 @@ module Mask = struct
 
   let create () = { bits = Bytes.make 64 '\000' }
 
-  let grow t want =
+  (* The mask doubles O(log n) times as domain ids grow; the per-tick add
+     pays only the length test. *)
+  (* alloc: cold *)
+  let[@inline never] grow t want =
     let cap = ref (Bytes.length t.bits) in
     while want >= !cap do
       cap := !cap * 2

@@ -139,6 +139,7 @@ let rec core_loop t ~core ~current ~speed ~remaining =
 
 (* One dispatch tick over all cores.  Each domain may consume at most
    [vcpus * quantum] CPU time per tick (its parallelism bound). *)
+(* alloc: none *)
 let dispatch_tick t () =
   let current = now t in
   let quantum = t.quantum in
@@ -157,6 +158,7 @@ let dispatch_tick t () =
 
 (* As in [Host.sample], freshly computed samples travel through the scratch
    cell so the sampling tick allocates nothing in steady state. *)
+(* alloc: none *)
 let sample t () =
   let current = now t in
   let dt = sec_of t.sample_period in
@@ -206,7 +208,7 @@ let create ?(quantum = Sim_time.of_ms 1) ?(account_period = Sim_time.of_ms 30)
       core_busy = Array.make (Smp.cores smp) Sim_time.zero;
       freq_series =
         Array.init (Smp.domain_count smp) (fun i ->
-            Series.create ~name:(Printf.sprintf "freq_domain%d" i));
+            Series.create ~name:(Printf.sprintf "freq_domain%d" i)); (* lint:ignore hot-path-printf: one-time series naming at creation *)
       exclude = Scheduler.Mask.create ();
       scratch = Series.cell ();
     }

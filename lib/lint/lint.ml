@@ -456,6 +456,61 @@ let hashtbl_create_issues ~file lines_code lines_raw =
   !issues
 
 (* ------------------------------------------------------------------ *)
+(* Rule: formatted printing in a file that declares an allocation-free
+   hot path.  The allocation prover bounds what the annotated roots may
+   reach, but printing creeps in from debug sessions through cold helpers
+   and fresh branches; in hot-path files it is flagged outright — cold
+   failure paths raise through invalid_arg/failwith with static messages,
+   and reporting belongs to callers outside the hot module.  The file
+   gate is the standalone marker line the allocation pass reads, matched
+   exactly so prose mentions of the grammar do not arm the rule. *)
+
+let declares_hot_path lines_raw =
+  Array.exists
+    (fun line -> String.equal (String.trim line) "(* alloc: none *)")
+    lines_raw
+
+let hot_path_printf_issues ~file lines_code lines_raw =
+  if not (declares_hot_path lines_raw) then []
+  else begin
+    let issues = ref [] in
+    let needles = [ "Printf."; "Format."; "print_" ] in
+    Array.iteri
+      (fun ln line ->
+        List.iter
+          (fun needle ->
+            let m = String.length needle in
+            let n = String.length line in
+            let rec scan i =
+              if i + m <= n then
+                if
+                  String.sub line i m = needle
+                  && (i = 0 || (not (is_ident_char line.[i - 1]) && line.[i - 1] <> '.'))
+                then
+                  issues :=
+                    {
+                      file;
+                      line = ln + 1;
+                      rule = "hot-path-printf";
+                      message =
+                        Printf.sprintf
+                          "%s%s call in a file with an allocation-free hot path: move \
+                           the printing out of the hot module or raise with a static \
+                           message, or waive with (* %s hot-path-printf: reason *)"
+                          needle
+                          (token_at line (i + m))
+                          waiver;
+                    }
+                    :: !issues
+                else scan (i + 1)
+            in
+            scan 0)
+          needles)
+      lines_code;
+    !issues
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Rule: undocumented mutable field in an interface. *)
 
 let mutable_doc_issues ~file lines_code lines_raw =
@@ -502,6 +557,7 @@ let lint_source ~file content =
       @ random_issues ~file lines_code
       @ assert_false_issues ~file lines_code lines_raw
       @ hashtbl_create_issues ~file lines_code lines_raw
+      @ hot_path_printf_issues ~file lines_code lines_raw
   in
   (* The waiver marker exempts a line from every rule. *)
   Report.drop_waived ~source:content issues

@@ -98,6 +98,7 @@ let slice_of st cap ~remaining =
   st.cell.Scheduler.max_slice <- Sim_time.min cap remaining;
   st.cell_opt
 
+(* alloc: none *)
 let pick t ~now:_ ~remaining ~exclude =
   detect_wakes t;
   (* Dom0 first: strictly highest priority. *)
@@ -132,18 +133,23 @@ let pick t ~now:_ ~remaining ~exclude =
     end
   end
 
+(* Off-by-default sanitizer: the enabled check stays in the caller, so the
+   charge path pays one branch when sanitizers are off. *)
+(* alloc: cold *)
+let[@inline never] check_quota st ~domain ~now =
+  if Sim_time.compare st.quota Sim_time.zero >= 0 then Analysis.Check.pass inv_quota
+  else
+    Analysis.Check.fail inv_quota ~time_s:(Sim_time.to_sec now) ~component:"sched-credit"
+      (Printf.sprintf "domain %s quota %s after charge" (* lint:ignore hot-path-printf: cold sanitizer failure message *)
+         (Domain.name domain) (Sim_time.to_string st.quota))
+
+(* alloc: none *)
 let charge t ~domain ~now ~used =
   let st = state t domain in
   st.boosted <- false; (* the low-latency dispatch happened; back in the pack *)
   st.quota <- (if Sim_time.compare used st.quota >= 0 then Sim_time.zero
                else Sim_time.sub st.quota used);
-  if Analysis.Config.enabled () then begin
-    if Sim_time.compare st.quota Sim_time.zero >= 0 then Analysis.Check.pass inv_quota
-    else
-      Analysis.Check.fail inv_quota ~time_s:(Sim_time.to_sec now) ~component:"sched-credit"
-        (Printf.sprintf "domain %s quota %s after charge" (Domain.name domain)
-           (Sim_time.to_string st.quota))
-  end
+  if Analysis.Config.enabled () then check_quota st ~domain ~now
 
 let on_account_period t ~now:_ = Array.iter (refill t) t.doms
 
@@ -151,7 +157,8 @@ let set_effective_credit t d credit =
   if Analysis.Config.enabled () then
     Analysis.Check.run inv_credit ~component:"sched-credit"
       ~detail:(fun () ->
-        Printf.sprintf "domain %s assigned effective credit %.9g" (Domain.name d) credit)
+        Printf.sprintf "domain %s assigned effective credit %.9g" (* lint:ignore hot-path-printf: lazy detail built only on failure *)
+          (Domain.name d) credit)
       (Float.is_finite credit && credit >= 0.0);
   if credit < 0.0 then invalid_arg "Sched_credit.set_effective_credit: negative credit";
   let st = state t d in

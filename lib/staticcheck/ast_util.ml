@@ -92,6 +92,7 @@ type decls = {
   mutable roots : (string * root) list;  (** dotted path -> root *)
   mutable aliases : (string list * string list) list;
   mutable funs : (string * expression) list;  (** dotted path -> rhs *)
+  mutable flines : (string * int) list;  (** dotted fun path -> binding line *)
   mutable fields : int list;  (** lines of [mutable] record fields *)
 }
 
@@ -111,7 +112,10 @@ let rec scan_structure_into prefix decls str =
                         ( dotted path,
                           { rline = line_of vb.pvb_loc; rkind = kind; rsync = sync } )
                         :: decls.roots
-                  | None -> decls.funs <- (dotted path, vb.pvb_expr) :: decls.funs)
+                  | None ->
+                      decls.funs <- (dotted path, vb.pvb_expr) :: decls.funs;
+                      decls.flines <-
+                        (dotted path, line_of vb.pvb_loc) :: decls.flines)
               | _ -> ())
             vbs
       | Pstr_module mb -> scan_module prefix decls mb
@@ -147,7 +151,7 @@ and scan_module prefix decls mb =
       | _ -> ())
 
 let scan_structure str =
-  let decls = { roots = []; aliases = []; funs = []; fields = [] } in
+  let decls = { roots = []; aliases = []; funs = []; flines = []; fields = [] } in
   scan_structure_into [] decls str;
   decls
 

@@ -35,6 +35,7 @@ type decls = {
   mutable roots : (string * root) list;  (** dotted path -> root *)
   mutable aliases : (string list * string list) list;
   mutable funs : (string * Parsetree.expression) list;  (** dotted path -> rhs *)
+  mutable flines : (string * int) list;  (** dotted fun path -> binding line *)
   mutable fields : int list;  (** lines of [mutable] record fields *)
 }
 

@@ -83,6 +83,40 @@ let rules =
     ( "missing-mli",
       "A library module has no interface file; every lib/ module ships\n\
        a .mli so the public surface is deliberate." );
+    ( "alloc-in-hot-path",
+      "An allocating construct (closure, tuple/record/array/list\n\
+       construction, partial application, Printf/Format, ref, string\n\
+       concatenation, boxed int64 arithmetic, or a freshly computed\n\
+       float returned across a compilation-unit boundary) is reachable\n\
+       from a hot-path root annotated (* alloc: none *).  The message\n\
+       shows the full root → … → site call chain; the zero-alloc\n\
+       invariant is also enforced dynamically by bench/micro --check.\n\
+       Fix: reuse a preallocated cell (Series.add_cell idiom), add a\n\
+       local [@inline always] copy of a cross-unit float helper, or\n\
+       hoist cold work behind an [@inline never] helper marked\n\
+       (* alloc: cold *).\n\
+       Waive: (* lint:ignore alloc-in-hot-path: reason *) on the line." );
+    ( "alloc-unknown-callee",
+      "A call reachable from an (* alloc: none *) hot root cannot be\n\
+       proven allocation-free: the callee does not resolve to a scanned\n\
+       binding or a known primitive, or the call is indirect through a\n\
+       record field outside the dispatch contract (scheduler\n\
+       pick/charge, workload advance/has_work/execute, queue key/cmp,\n\
+       …).  Unknown callees default to allocating — the proof must\n\
+       cover every call.\n\
+       Fix: qualify the call so it resolves, extend the known-free\n\
+       primitive table if it provably does not allocate, route dispatch\n\
+       through a contract field, or mark the callee (* alloc: cold *).\n\
+       Waive: (* lint:ignore alloc-unknown-callee: reason *)." );
+    ( "hot-path-printf",
+      "A Printf/Format/print_ call in a file that declares an\n\
+       (* alloc: none *) hot path.  Formatted printing allocates and\n\
+       tends to creep from debug sessions into tick code; keep it out\n\
+       of hot-path files entirely (cold failure paths raise through\n\
+       invalid_arg/failwith instead).\n\
+       Fix: move the printing to a caller outside the hot module, or\n\
+       raise with a static message.\n\
+       Waive: (* lint:ignore hot-path-printf: reason *) on the line." );
     ( "hashtbl-create",
       "A new Hashtbl.create without a nearby comment (same line or the\n\
        two lines above) containing \"deterministic\" or \"hash-order\"\n\

@@ -5,6 +5,7 @@ module Ast_util = Ast_util
 module Callgraph = Callgraph
 module Effect_check = Effect_check
 module Lock_check = Lock_check
+module Alloc_check = Alloc_check
 module Explain = Explain
 module Sarif = Sarif
 
@@ -31,36 +32,72 @@ let module_name_of file =
   String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
 
 (* Every pass over a set of sources: per-file unit-of-measure and
-   domain-safety checks, then the interprocedural effect and
-   lock-discipline passes over the call graph of all units together.
-   Waivers are applied per file — line waivers for everything, plus
-   file-scoped symbol waivers ([lint:ignore RULE @Path]) with the
-   spellings the lock pass supplies. *)
-let run_passes ~registry sources =
-  let parsed, errors =
-    List.fold_left
-      (fun (parsed, errors) (file, content) ->
-        match parse_with Parse.implementation ~file content with
-        | exception exn -> (parsed, parse_error_issue ~file exn :: errors)
-        | str -> ((file, content, str) :: parsed, errors))
-      ([], []) sources
+   domain-safety checks, then the interprocedural effect, lock-discipline
+   and allocation-effect passes over the call graph of all units
+   together.  Waivers are applied per file — line waivers for
+   everything, plus file-scoped symbol waivers ([lint:ignore RULE
+   @Path]) with the spellings the lock pass supplies.
+
+   [jobs > 1] runs the three interprocedural passes on their own
+   domains (parsing stays serial: the compiler-libs lexer/parser keep
+   global state).  The passes are pure over the immutable graph and are
+   joined in a fixed order, so the issue list — and any SARIF rendered
+   from it — is byte-identical for every [jobs] value.  [clock] (the
+   driver passes [Unix.gettimeofday]; this library does not link unix)
+   enables the per-pass wall-time figures in the second component. *)
+let run_passes_timed ?(jobs = 1) ?clock ~registry sources =
+  let now () = match clock with Some f -> f () | None -> 0.0 in
+  let timed name f =
+    let t0 = now () in
+    let r = f () in
+    (r, (name, now () -. t0))
   in
-  let parsed = List.rev parsed in
-  let g = Callgraph.build (List.map (fun (f, _, str) -> (f, str)) parsed) in
-  let lock_issues, lock_symbols = Lock_check.check g in
-  let global = Effect_check.check g @ lock_issues in
-  let issues =
-    List.concat_map
-      (fun (file, content, str) ->
-        let per_file =
-          Unit_check.check ~registry ~file str @ Domain_check.check ~file str
+  let (parsed, errors, g), t_parse =
+    timed "parse" (fun () ->
+        let parsed, errors =
+          List.fold_left
+            (fun (parsed, errors) (file, content) ->
+              match parse_with Parse.implementation ~file content with
+              | exception exn -> (parsed, parse_error_issue ~file exn :: errors)
+              | str -> ((file, content, str) :: parsed, errors))
+            ([], []) sources
         in
-        let of_this_file = List.filter (fun i -> i.Report.file = file) global in
-        Report.drop_waived ~symbols:lock_symbols ~source:content
-          (per_file @ of_this_file))
-      parsed
+        let parsed = List.rev parsed in
+        let g = Callgraph.build (List.map (fun (f, _, str) -> (f, str)) parsed) in
+        (parsed, errors, g))
   in
-  Report.sort (errors @ issues)
+  let srcs = List.map (fun (f, c, _) -> (f, c)) parsed in
+  let run3 f1 f2 f3 =
+    if jobs > 1 then begin
+      let d2 = Domain.spawn f2 and d3 = Domain.spawn f3 in
+      let r1 = f1 () in
+      (r1, Domain.join d2, Domain.join d3)
+    end
+    else (f1 (), f2 (), f3 ())
+  in
+  let (effect_issues, t_eff), ((lock_issues, lock_symbols), t_lock), (alloc_issues, t_alloc)
+      =
+    run3
+      (fun () -> timed "effect" (fun () -> Effect_check.check g))
+      (fun () -> timed "lock" (fun () -> Lock_check.check g))
+      (fun () -> timed "alloc" (fun () -> Alloc_check.check ~sources:srcs g))
+  in
+  let global = effect_issues @ lock_issues @ alloc_issues in
+  let issues, t_perfile =
+    timed "perfile" (fun () ->
+        List.concat_map
+          (fun (file, content, str) ->
+            let per_file =
+              Unit_check.check ~registry ~file str @ Domain_check.check ~file str
+            in
+            let of_this_file = List.filter (fun i -> i.Report.file = file) global in
+            Report.drop_waived ~symbols:lock_symbols ~source:content
+              (per_file @ of_this_file))
+          parsed)
+  in
+  (Report.sort (errors @ issues), [ t_parse; t_eff; t_lock; t_alloc; t_perfile ])
+
+let run_passes ~registry sources = fst (run_passes_timed ~registry sources)
 
 let analyze_source ?(registry = Units.builtin) ~file content =
   if Filename.check_suffix file ".mli" then []
@@ -79,13 +116,30 @@ let registry_of_paths roots =
               (Units.of_interface ~module_name:(module_name_of file) signature))
     Units.builtin files
 
-let analyze_paths roots =
+let sources_of_paths roots =
+  List.filter_map
+    (fun file ->
+      if Filename.check_suffix file ".ml" then Some (file, Report.read_file file)
+      else None)
+    (Report.collect_sources roots)
+
+let analyze_paths_timed ?jobs ?clock roots =
   let registry = registry_of_paths roots in
-  let sources =
+  run_passes_timed ?jobs ?clock ~registry (sources_of_paths roots)
+
+let analyze_paths roots = fst (analyze_paths_timed roots)
+
+(* The static half of the static/dynamic zero-alloc consistency
+   contract: every [(* alloc: none *)] root key under the given roots. *)
+let alloc_roots_of_paths roots =
+  let sources = sources_of_paths roots in
+  let parsed =
     List.filter_map
-      (fun file ->
-        if Filename.check_suffix file ".ml" then Some (file, Report.read_file file)
-        else None)
-      (Report.collect_sources roots)
+      (fun (file, content) ->
+        match parse_with Parse.implementation ~file content with
+        | exception _ -> None
+        | str -> Some (file, content, str))
+      sources
   in
-  run_passes ~registry sources
+  let g = Callgraph.build (List.map (fun (f, _, str) -> (f, str)) parsed) in
+  Alloc_check.annotated_keys ~sources:(List.map (fun (f, c, _) -> (f, c)) parsed) g

@@ -27,7 +27,12 @@
     - the {b lock-discipline pass} ({!Lock_check}): [lock-discipline] —
       infers, per shared mutable root, whether accesses follow one
       discipline (one mutex, atomic, domain-confined/read-only) and
-      flags mixed or unguarded access.
+      flags mixed or unguarded access;
+    - the {b allocation-effect pass} ({!Alloc_check}):
+      [alloc-in-hot-path], [alloc-unknown-callee] — classifies every
+      binding into [NoAlloc < BoundedAlloc < Alloc] and proves the
+      [(* alloc: none *)]-annotated hot roots allocation-free, with the
+      full root → … → site chain on every violation.
 
     A file that does not parse yields a single [parse-error] issue.
     Line waivers (["lint:ignore"]), file-scoped symbol waivers
@@ -43,6 +48,7 @@ module Ast_util = Ast_util
 module Callgraph = Callgraph
 module Effect_check = Effect_check
 module Lock_check = Lock_check
+module Alloc_check = Alloc_check
 module Explain = Explain
 module Sarif = Sarif
 
@@ -62,6 +68,24 @@ val registry_of_paths : string list -> Units.registry
 val analyze_paths : string list -> Report.issue list
 (** Walks the given files and directories like [Lint.lint_paths], builds
     the registry from every interface found, then analyzes every
-    implementation — per-file passes plus the whole-program effect and
-    lock-discipline passes over all units together.  Issues are sorted
-    by file and line. *)
+    implementation — per-file passes plus the whole-program effect,
+    lock-discipline and allocation-effect passes over all units
+    together.  Issues are sorted by file and line. *)
+
+val analyze_paths_timed :
+  ?jobs:int ->
+  ?clock:(unit -> float) ->
+  string list ->
+  Report.issue list * (string * float) list
+(** Like {!analyze_paths}, also returning per-pass wall times
+    [("parse" | "effect" | "lock" | "alloc" | "perfile") * seconds].
+    [jobs > 1] runs the three interprocedural passes on their own
+    domains; the issue list is byte-identical for every [jobs] value
+    (passes are pure and joined in a fixed order).  [clock] supplies the
+    timer (the driver passes [Unix.gettimeofday]; without it the times
+    are all 0). *)
+
+val alloc_roots_of_paths : string list -> string list
+(** The sorted [(* alloc: none *)] hot-root keys under the given roots —
+    what the static/dynamic consistency test compares against the
+    microbench zero-alloc targets. *)

@@ -296,6 +296,33 @@ let test_lint_hashtbl_create () =
   check_bool "waiver applies" true
     (issues_of "let t = Hashtbl.create 8 (* lint:ignore hashtbl-create: scratch *)\n" = [])
 
+(* Files declaring an allocation-free hot path (a standalone
+   [(* alloc: none *)] marker line) must not grow formatted printing:
+   any Printf/Format/print_ call in such a file is flagged so the
+   printing moves out of the hot module — or is explicitly waived. *)
+let test_lint_hot_path_printf () =
+  let hot = "(* alloc: none *)\nlet hot x = x + 1\n" in
+  check_bool "Printf in a hot-path file flagged" true
+    (rules (issues_of (hot ^ "let dump x = Printf.printf \"%d\" x\n"))
+    = [ "hot-path-printf" ]);
+  check_bool "Format flagged too" true
+    (rules (issues_of (hot ^ "let dump x = Format.asprintf \"%d\" x\n"))
+    = [ "hot-path-printf" ]);
+  check_bool "print_endline flagged" true
+    (rules (issues_of (hot ^ "let dump x = print_endline x\n")) = [ "hot-path-printf" ]);
+  check_bool "a file with no marker is free to print" true
+    (issues_of "let dump x = Printf.printf \"%d\" x\n" = []);
+  check_bool "marker inside a string literal does not arm the rule" true
+    (issues_of "let s = \"(* alloc: none *)\"\nlet dump x = Printf.printf \"%d\" x\n" = []);
+  check_bool "Printf in a comment is blanked" true
+    (issues_of (hot ^ "(* consider Printf.printf here *)\nlet ok = 3\n") = []);
+  check_bool "longer module name does not match" true
+    (issues_of (hot ^ "let dump x = MyPrintf.printf x\n") = []);
+  check_bool "waiver applies" true
+    (issues_of
+       (hot ^ "let dump x = Printf.printf \"%d\" x (* lint:ignore hot-path-printf: debug *)\n")
+    = [])
+
 (* The old text-based [experiment-state] rule moved to the AST analyzer
    (lib/staticcheck, test/test_staticcheck.ml), which also catches aliased
    module state the text scan could not see.  What stays here is the
@@ -383,6 +410,7 @@ let () =
           Alcotest.test_case "mutable without doc" `Quick test_lint_mutable_doc;
           Alcotest.test_case "quoted strings" `Quick test_lint_quoted_string;
           Alcotest.test_case "hashtbl create" `Quick test_lint_hashtbl_create;
+          Alcotest.test_case "hot-path printf" `Quick test_lint_hot_path_printf;
           Alcotest.test_case "driver exit code" `Quick test_lint_driver_exit_code;
         ] );
     ]

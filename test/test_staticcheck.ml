@@ -320,6 +320,139 @@ let test_symbol_waiver_report_level () =
   check_int "plain drop_waived ignores symbol waivers" 1
     (List.length (Report.drop_waived ~source [ issue ]))
 
+(* ----- interprocedural allocation-effect pass -----
+
+   Roots are [(* alloc: none *)] annotations in the fixture source (the
+   marker line sits directly above the binding); the pass runs through
+   [analyze_source] like the effect fixtures, so annotation scraping,
+   the call graph, the lattice solve and the chain reconstruction are
+   exercised end to end. *)
+
+let test_alloc_chain () =
+  let src =
+    "let build x = Some x\n\
+     let helper x = build x\n\
+     (* alloc: none *)\n\
+     let hot x = helper x\n"
+  in
+  let issues = analyze src in
+  Alcotest.(check (list string)) "allocation reachable from the root"
+    [ "alloc-in-hot-path" ] (rules issues);
+  (match issues with
+  | [ i ] ->
+      check_int "reported at the allocating expression" 1 i.Report.line;
+      check_bool "chain walks root → helper → site" true
+        (contains i.Report.message "Fake.hot → Fake.helper → Fake.build");
+      check_bool "witness names the construct" true
+        (contains i.Report.message "constructor Some application")
+  | _ -> Alcotest.fail "expected exactly one issue");
+  check_rules "the same allocation with no root stays silent" []
+    "let build x = Some x\nlet helper x = build x\nlet hot x = helper x\n";
+  (* several witnesses across several lines arrive sorted *)
+  let many =
+    analyze "let a x = Some x\nlet b x = [ x ]\n(* alloc: none *)\nlet hot x = b (a x)\n"
+  in
+  check_bool "fixture yields several issues" true (List.length many > 1);
+  check_bool "issues arrive sorted by (file, line, rule)" true (many = Report.sort many)
+
+let test_alloc_unknown_callee () =
+  let issues = analyze "(* alloc: none *)\nlet hot x = Mystery.frob x\n" in
+  Alcotest.(check (list string)) "unresolved cross-unit callee"
+    [ "alloc-unknown-callee" ] (rules issues);
+  (match issues with
+  | [ i ] ->
+      check_int "at the call site" 2 i.Report.line;
+      check_bool "names the callee" true (contains i.Report.message "Mystery.frob")
+  | _ -> Alcotest.fail "expected exactly one issue");
+  check_rules "dispatch through a contract field is allowed" []
+    "(* alloc: none *)\nlet hot t = t.charge 1\n";
+  check_rules "dispatch through a non-contract field is unknown"
+    [ "alloc-unknown-callee" ]
+    "(* alloc: none *)\nlet hot t = t.callback 1\n"
+
+let test_alloc_clean_idioms () =
+  check_rules "eliminable ref compiles to a mutable local" []
+    "(* alloc: none *)\n\
+     let hot n =\n\
+    \  let acc = ref 0 in\n\
+    \  for i = 0 to n do acc := !acc + i done;\n\
+    \  !acc\n";
+  check_rules "a cold callee is excluded from the traversal" []
+    "(* amortized growth *)\n\
+     (* alloc: cold *)\n\
+     let slow x = Some x\n\
+     (* alloc: none *)\n\
+     let hot x = match slow x with Some y -> y | None -> 0\n";
+  check_rules "failure paths are exempt, formatted guard included" []
+    "(* alloc: none *)\n\
+     let hot x = if x < 0 then invalid_arg (Printf.sprintf \"%d\" x) else x + 1\n";
+  check_rules "whitelisted primitives are free" []
+    "(* alloc: none *)\nlet hot a i = Array.unsafe_set a i (sqrt (Array.unsafe_get a i))\n"
+
+let test_alloc_violating_idioms () =
+  check_rules "closure passed to a free iterator still allocates"
+    [ "alloc-in-hot-path" ]
+    "(* alloc: none *)\nlet hot l = List.iter (fun y -> ignore y) l\n";
+  check_rules "partial application allocates" [ "alloc-in-hot-path" ]
+    "let add a b = a + b\n(* alloc: none *)\nlet hot x = add x\n";
+  check_rules "formatted printing allocates" [ "alloc-in-hot-path" ]
+    "(* alloc: none *)\nlet hot x = Printf.printf \"%d\" x\n"
+
+let test_alloc_waiver () =
+  check_rules "waiver on the allocating line applies" []
+    "(* alloc: none *)\nlet hot x = Some x (* lint:ignore alloc-in-hot-path: test rig *)\n";
+  check_rules "waiver on the unknown call site applies" []
+    "(* alloc: none *)\n\
+     let hot x = Mystery.frob x (* lint:ignore alloc-unknown-callee: proven free *)\n"
+
+(* The Bounded tier: a freshly computed float returned across a
+   compilation-unit boundary boxes under -opaque, so cross-unit calls to
+   the tree's known float-returning functions are flagged; the same call
+   inside one unit stays free. *)
+let test_alloc_crossbox () =
+  let dir = Filename.temp_file "allocbox" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let write name content =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc content;
+    close_out oc
+  in
+  write "sim_time.ml" "let to_sec t = float_of_int t /. 1e6\n";
+  write "caller.ml" "(* alloc: none *)\nlet hot t = Sim_time.to_sec t\n";
+  let issues = Staticcheck.analyze_paths [ dir ] in
+  Alcotest.(check (list string)) "boxed cross-unit float return"
+    [ "alloc-in-hot-path" ] (rules issues);
+  (match issues with
+  | [ i ] ->
+      check_bool "advice names the local-copy fix" true
+        (contains i.Report.message "[@inline always]")
+  | _ -> Alcotest.fail "expected exactly one issue");
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir;
+  check_rules "the same call within one unit does not box" []
+    "let to_sec t = float_of_int t /. 1e6\n(* alloc: none *)\nlet hot t = to_sec t\n"
+
+(* The static/dynamic contract ([Alloc_check.consistency]): the
+   annotated roots and the microbench 0-words/op targets must name the
+   same functions, and each mismatch direction yields its own message. *)
+let test_alloc_consistency () =
+  let consistency = Staticcheck.Alloc_check.consistency in
+  check_int "agreeing views are clean" 0
+    (List.length (consistency ~annotated:[ "B.g"; "A.f" ] ~benched:[ "A.f"; "B.g" ]));
+  (match consistency ~annotated:[ "A.f"; "C.h" ] ~benched:[ "A.f" ] with
+  | [ m ] ->
+      check_bool "annotated root without a bench entry" true
+        (contains m "C.h" && contains m "microbench")
+  | _ -> Alcotest.fail "expected exactly one message");
+  (match consistency ~annotated:[ "A.f" ] ~benched:[ "A.f"; "D.k" ] with
+  | [ m ] ->
+      check_bool "bench target without an annotation" true
+        (contains m "D.k" && contains m "annotation")
+  | _ -> Alcotest.fail "expected exactly one message");
+  check_int "both directions fail together" 2
+    (List.length (consistency ~annotated:[ "A.f" ] ~benched:[ "B.g" ]))
+
 (* ----- effect lattice: qcheck properties over the exposed solver ----- *)
 
 let classes = [| Staticcheck.Effect_check.Pure; Seeded; Ambient; Nondet |]
@@ -356,6 +489,38 @@ let test_solve_fixpoint =
          Array.for_all2 Staticcheck.Effect_check.leq base s
          && List.for_all
               (fun (caller, callee) -> Staticcheck.Effect_check.leq s.(callee) s.(caller))
+              e1))
+
+(* The same properties over the allocation lattice's solver. *)
+
+let alloc_classes = [| Staticcheck.Alloc_check.NoAlloc; Bounded; Alloc |]
+
+let alloc_fixture (n, codes, e1, e2) =
+  let base =
+    Array.init n (fun i ->
+        alloc_classes.(match List.nth_opt codes i with Some c -> c mod 3 | None -> i mod 3))
+  in
+  let clamp = List.filter (fun (a, b) -> a < n && b < n) in
+  (n, base, clamp e1, clamp e2)
+
+let test_alloc_solve_monotone =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"alloc solve is monotone under edge addition"
+       solve_input (fun input ->
+         let n, base, e1, e2 = alloc_fixture input in
+         let s1 = Staticcheck.Alloc_check.solve ~n ~base ~edges:e1 in
+         let s2 = Staticcheck.Alloc_check.solve ~n ~base ~edges:(e1 @ e2) in
+         Array.for_all2 Staticcheck.Alloc_check.leq s1 s2))
+
+let test_alloc_solve_fixpoint =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"alloc solve is a fixpoint above base" solve_input
+       (fun input ->
+         let n, base, e1, _ = alloc_fixture input in
+         let s = Staticcheck.Alloc_check.solve ~n ~base ~edges:e1 in
+         Array.for_all2 Staticcheck.Alloc_check.leq base s
+         && List.for_all
+              (fun (caller, callee) -> Staticcheck.Alloc_check.leq s.(callee) s.(caller))
               e1))
 
 (* ----- SARIF: minimal JSON reader and round-trip ----- *)
@@ -613,7 +778,8 @@ let test_explain_coverage () =
     [
       "parse-error"; "unit-arith"; "unit-call"; "unit-binding"; "domain-capture";
       "experiment-state"; "effect-nondet"; "effect-ambient"; "lock-discipline";
-      "float-eq"; "random"; "assert-false"; "mutable-doc"; "hashtbl-create";
+      "alloc-in-hot-path"; "alloc-unknown-callee"; "float-eq"; "random";
+      "assert-false"; "mutable-doc"; "hashtbl-create"; "hot-path-printf";
     ];
   check_bool "unknown rule has no entry" true (Staticcheck.Explain.find "no-such-rule" = None)
 
@@ -659,6 +825,69 @@ let test_driver_exit_code () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Sys.rmdir dir
 
+(* The zero-alloc prover end to end through the driver: a planted
+   hot-path allocation fails the build with the chain in the SARIF
+   message, the report is byte-identical across repeated runs and every
+   --jobs value, --alloc-roots prints the annotated keys, the per-pass
+   timing covers the alloc pass, and every new rule has an --explain
+   entry. *)
+let test_driver_alloc_determinism () =
+  let exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/analyze_main.exe"
+  in
+  let dir = Filename.temp_file "alloccheck" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let write name content =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc content;
+    close_out oc
+  in
+  let run ?stdout args =
+    Sys.command
+      (Filename.quote_command exe args
+         ~stdout:(Option.value stdout ~default:Filename.null)
+         ~stderr:Filename.null)
+  in
+  write "hot.ml"
+    "let build x = Some x\n\
+     (* alloc: none *)\n\
+     let hot x = build x\n\
+     (* alloc: none *)\n\
+     let sample t = t + 1\n";
+  write "units.ml" "let f freq_mhz time_s = freq_mhz + time_s\n";
+  let sarif_of name args =
+    let path = Filename.concat dir name in
+    check_bool "planted allocation exits nonzero" true
+      (run ([ "--sarif"; path ] @ args @ [ dir ]) <> 0);
+    Report.read_file path
+  in
+  let s1 = sarif_of "r1.sarif" [] in
+  let s2 = sarif_of "r2.sarif" [] in
+  check_bool "repeated runs are byte-identical" true (String.equal s1 s2);
+  List.iter
+    (fun jobs ->
+      let s = sarif_of ("j" ^ jobs ^ ".sarif") [ "--jobs"; jobs ] in
+      check_bool ("--jobs " ^ jobs ^ " is byte-identical") true (String.equal s1 s))
+    [ "1"; "2"; "4" ];
+  check_bool "chain message reaches the SARIF report" true
+    (contains s1 "Hot.hot → Hot.build");
+  let roots_path = Filename.concat dir "roots.txt" in
+  check_int "--alloc-roots exits 0" 0 (run ~stdout:roots_path [ "--alloc-roots"; dir ]);
+  check_bool "both annotated keys print sorted" true
+    (String.equal (Report.read_file roots_path) "Hot.hot\nHot.sample\n");
+  let timing_path = Filename.concat dir "t.json" in
+  ignore (run [ "--timing"; timing_path; dir ]);
+  let tj = Report.read_file timing_path in
+  check_bool "per-pass timing covers the alloc pass" true
+    (contains tj "\"alloc_seconds\"" && contains tj "dvfs-analyze-timing/1");
+  List.iter
+    (fun rule ->
+      check_int ("--explain " ^ rule ^ " exits 0") 0 (run [ "--explain"; rule ]))
+    [ "alloc-in-hot-path"; "alloc-unknown-callee"; "hot-path-printf" ];
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
 let () =
   Alcotest.run "staticcheck"
     [
@@ -695,6 +924,19 @@ let () =
           Alcotest.test_case "unguarded shared write" `Quick test_lock_unguarded;
           Alcotest.test_case "symbol waivers" `Quick test_lock_symbol_waiver;
           Alcotest.test_case "symbol waiver matching" `Quick test_symbol_waiver_report_level;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "hot-path chain" `Quick test_alloc_chain;
+          Alcotest.test_case "unknown callee" `Quick test_alloc_unknown_callee;
+          Alcotest.test_case "clean idioms" `Quick test_alloc_clean_idioms;
+          Alcotest.test_case "violating idioms" `Quick test_alloc_violating_idioms;
+          Alcotest.test_case "waivers" `Quick test_alloc_waiver;
+          Alcotest.test_case "cross-unit float boxing" `Quick test_alloc_crossbox;
+          Alcotest.test_case "static/dynamic consistency" `Quick test_alloc_consistency;
+          Alcotest.test_case "driver determinism" `Quick test_driver_alloc_determinism;
+          test_alloc_solve_monotone;
+          test_alloc_solve_fixpoint;
         ] );
       ( "sarif",
         [
