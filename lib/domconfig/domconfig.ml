@@ -336,3 +336,26 @@ let pp_spec ppf t =
         (if d.dom0 then " dom0=true" else "")
         d.vcpus pp_workload d.workload)
     t.domains
+
+(* ------------------------------------------------------------------ *)
+(* Host-environment reads, once at startup.
+
+   Domconfig is the blessed config loader: the determinism effect pass
+   lets it read the host so nothing simulation-reachable has to.  Both
+   values are captured at module initialization — before any worker
+   domain spawns — so the pool sizing of a run is a constant of that
+   run, not a per-call environment read. *)
+
+let jobs_env_var = "DVFS_JOBS"
+let jobs_env_raw = Sys.getenv_opt jobs_env_var
+let machine_domain_count = Stdlib.Domain.recommended_domain_count ()
+
+let default_jobs () =
+  match jobs_env_raw with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "Runner: %s must be a positive integer, got %S" jobs_env_var s))
+  | None -> machine_domain_count

@@ -84,3 +84,14 @@ val build : t -> built
 
 val pp_spec : Format.formatter -> t -> unit
 (** Round-trippable rendering of a parsed configuration. *)
+
+val jobs_env_var : string
+(** ["DVFS_JOBS"]. *)
+
+val default_jobs : unit -> int
+(** [$DVFS_JOBS] when set, else [Domain.recommended_domain_count ()] —
+    both captured once at module initialization (before any worker
+    domain spawns), so a run's pool sizing is a constant of the run.
+    @raise Invalid_argument if [$DVFS_JOBS] is not a positive integer
+    (validated at the call, so misconfiguration fails where the pool is
+    sized, not at program load). *)

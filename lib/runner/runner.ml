@@ -26,16 +26,12 @@ type report = {
 let failures r =
   List.filter_map (fun j -> match j.status with Failed m -> Some (j.id, m) | Done -> None) r.jobs
 
-let jobs_env_var = "DVFS_JOBS"
+let jobs_env_var = Domconfig.jobs_env_var
 
-let default_pool_size () =
-  match Sys.getenv_opt jobs_env_var with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some _ | None ->
-          invalid_arg (Printf.sprintf "Runner: %s must be a positive integer, got %S" jobs_env_var s))
-  | None -> Stdlib.Domain.recommended_domain_count ()
+(* Delegates to the blessed config loader, which captured $DVFS_JOBS and
+   the machine topology once at startup — keeps the pool sizing out of
+   the effect pass's simulation-reachable ambient reads. *)
+let default_pool_size () = Domconfig.default_jobs ()
 
 (* Wall clock, CPU clock and GC counters below feed timing metadata only
    (job seconds/alloc in reports and manifests); [strip_timings] zeroes
@@ -191,7 +187,9 @@ let pp_summary ppf r =
   let failed = List.length (failures r) in
   Format.fprintf ppf "ran %d experiments on %d domain(s) in %.1fs wall (%0.1fs cpu)@."
     (List.length r.jobs) r.pool_size r.total_seconds
-    (List.fold_left (fun acc j -> acc +. j.cpu_seconds) 0.0 r.jobs);
+    ((* lint:ignore float-fold-order: jobs is in registry order, not completion order *) List.fold_left
+       (fun acc j -> acc +. j.cpu_seconds)
+       0.0 r.jobs);
   List.iter
     (fun j ->
       Format.fprintf ppf "  %-18s %-6s %6.1fs wall %6.1fs cpu %8.0f MB alloc %4d rows@." j.id

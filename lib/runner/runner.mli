@@ -49,7 +49,9 @@ val jobs_env_var : string
 (** ["DVFS_JOBS"]. *)
 
 val default_pool_size : unit -> int
-(** [$DVFS_JOBS] when set, else [Domain.recommended_domain_count ()].
+(** [$DVFS_JOBS] when set, else [Domain.recommended_domain_count ()] —
+    both captured once at program start by [Domconfig], the blessed
+    config loader, so the pool sizing is a constant of the run.
     @raise Invalid_argument if [$DVFS_JOBS] is not a positive integer. *)
 
 val run_all :

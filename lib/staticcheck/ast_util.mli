@@ -31,18 +31,34 @@ val mutable_ctor : Parsetree.expression -> (string * bool) option
 
 type root = { rline : int; rkind : string; rsync : bool }
 
+type field_decl = {
+  ftype : string;  (** dotted path of the declaring record type *)
+  fname : string;
+  fline : int;
+  fmut : bool;
+  fheads : string list;
+      (** outermost-to-innermost type-constructor heads through
+          single-argument constructors: [Trace.t option] gives
+          [["option"; "Trace.t"]] *)
+}
+
 type decls = {
   mutable roots : (string * root) list;  (** dotted path -> root *)
   mutable aliases : (string list * string list) list;
   mutable funs : (string * Parsetree.expression) list;  (** dotted path -> rhs *)
   mutable flines : (string * int) list;  (** dotted fun path -> binding line *)
   mutable fields : int list;  (** lines of [mutable] record fields *)
+  mutable tfields : field_decl list;  (** every record-field declaration *)
+  mutable includes : (string list * string list) list;
+      (** [include M]: prefix where it appears -> included module path *)
 }
 
 val scan_structure : Parsetree.structure -> decls
 (** Structure-level declarations at any module nesting depth; nested
     names are dotted ([Frame.add]), module aliases recorded for
-    {!resolve}. *)
+    {!resolve}.  [include M] records an include entry (and an inline
+    [include struct … end] is scanned in place); [include F (X)] is
+    opaque. *)
 
 val resolve : (string list * string list) list -> string list -> string list
 (** Chases module aliases: rewrites the longest alias prefix, bounded so

@@ -72,10 +72,18 @@ let lookup u path_dotted =
       | None -> None)
 
 (* Resolution: alias-chase in the current unit, try the full dotted path
-   locally, then scan left-to-right for the first component naming a
-   scanned unit and resolve the remainder there — recursing (fuel-bounded)
-   so a re-exported alias like [Analysis.Config.enabled] lands on the
+   locally, then through any [include] recorded at a prefix of the path
+   ([include Defaults] re-exports [Defaults]'s bindings at that level),
+   then scan left-to-right for the first component naming a scanned unit
+   and resolve the remainder there — recursing (fuel-bounded) so a
+   re-exported alias like [Analysis.Config.enabled] lands on the
    canonical [Config.enabled]. *)
+let rec strip_prefix pre path =
+  match (pre, path) with
+  | [], rest -> Some rest
+  | x :: xs, y :: ys when String.equal x y -> strip_prefix xs ys
+  | _ -> None
+
 let resolve t ~cur path =
   let rec go cur path fuel =
     if fuel = 0 then External path
@@ -84,27 +92,44 @@ let resolve t ~cur path =
       match lookup cur (Ast_util.dotted path) with
       | Some target -> target
       | None -> (
-          match path with
-          | [] | [ _ ] -> External path
-          | _ ->
-              let n = List.length path in
-              let rec scan i =
-                if i >= n - 1 then External path
-                else
-                  match find_unit t (List.nth path i) with
-                  | None -> scan (i + 1)
-                  | Some u -> (
-                      let rest =
-                        Ast_util.resolve u.udecls.Ast_util.aliases (drop (i + 1) path)
-                      in
-                      match lookup u (Ast_util.dotted rest) with
-                      | Some target -> target
-                      | None -> (
-                          match go u rest (fuel - 1) with
-                          | External _ -> scan (i + 1)
-                          | target -> target))
-              in
-              scan 0)
+          let via_include =
+            List.fold_left
+              (fun found (ipre, target) ->
+                match found with
+                | Some _ -> found
+                | None -> (
+                    match strip_prefix ipre path with
+                    | Some (_ :: _ as rest) -> (
+                        match go cur (target @ rest) (fuel - 1) with
+                        | External _ -> None
+                        | t -> Some t)
+                    | Some [] | None -> None))
+              None cur.udecls.Ast_util.includes
+          in
+          match via_include with
+          | Some target -> target
+          | None -> (
+              match path with
+              | [] | [ _ ] -> External path
+              | _ ->
+                  let n = List.length path in
+                  let rec scan i =
+                    if i >= n - 1 then External path
+                    else
+                      match find_unit t (List.nth path i) with
+                      | None -> scan (i + 1)
+                      | Some u -> (
+                          let rest =
+                            Ast_util.resolve u.udecls.Ast_util.aliases (drop (i + 1) path)
+                          in
+                          match lookup u (Ast_util.dotted rest) with
+                          | Some target -> target
+                          | None -> (
+                              match go u rest (fuel - 1) with
+                              | External _ -> scan (i + 1)
+                              | target -> target))
+                  in
+                  scan 0))
   in
   go cur path 8
 

@@ -37,7 +37,10 @@ type target =
           classified against the effect pass's primitive tables *)
 
 val resolve : t -> cur:unit_info -> string list -> target
-(** Resolve a referenced path seen in unit [cur]. *)
+(** Resolve a referenced path seen in unit [cur]: module aliases chased,
+    [include]d modules searched at the prefix where the include appears,
+    re-exports followed across units.  Functor applications are opaque —
+    paths through [module M = F (X)] stay [External]. *)
 
 val fold_funs :
   t ->

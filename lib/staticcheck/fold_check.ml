@@ -1,0 +1,115 @@
+(* Order-determinism of floating-point reductions.
+
+   Float addition and multiplication are not associative, so a reduction
+   is only reproducible if its iteration order is fixed.  Two orders in
+   this codebase are not: [Hashtbl] iteration (hash-order, salted per
+   run) and the parallel runner's per-job results (completion order of
+   worker domains — the [jobs] array is ordered by job id, but folding a
+   collection derived from a parallel run deserves a declared order).
+   This per-file pass flags float accumulation over either: a
+   [Hashtbl.fold]/[Hashtbl.iter] whose closure applies [+.] or [*.], and
+   a list/array/seq fold or iteration that both accumulates floats and
+   draws from a hash-ordered sequence ([Hashtbl.to_seq*]) or a [jobs]
+   field.  Deliberate reductions waive with
+   [(* lint:ignore float-fold-order: reason *)]. *)
+
+open Parsetree
+
+let rule = "float-fold-order"
+
+let hash_heads = [ "Hashtbl.fold"; "Hashtbl.iter" ]
+
+let fold_heads =
+  [
+    "List.fold_left"; "List.fold_right"; "Array.fold_left"; "Array.fold_right";
+    "Seq.fold_left"; "List.iter"; "Array.iter"; "Seq.iter";
+  ]
+
+let hash_seq_heads =
+  [ "Hashtbl.to_seq"; "Hashtbl.to_seq_keys"; "Hashtbl.to_seq_values" ]
+
+let float_ops = [ [ "+." ]; [ "*." ] ]
+
+let contains pred e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          if pred e then found := true;
+          if not !found then Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let accumulates_float e =
+  contains
+    (fun e ->
+      match Ast_util.ident_path e with
+      | Some p -> List.mem p float_ops
+      | None -> false)
+    e
+
+let head_in heads e =
+  match Ast_util.ident_path e with
+  | Some p -> List.mem (Ast_util.dotted p) heads
+  | None -> false
+
+let draws_hash_order e = contains (head_in hash_seq_heads) e
+
+let draws_job_results e =
+  contains
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_field (_, lid) -> (
+          match Ast_util.flatten lid.Asttypes.txt with
+          | Some p -> (
+              match List.rev p with "jobs" :: _ -> true | _ -> false)
+          | None -> false)
+      | _ -> false)
+    e
+
+let check ~file str =
+  let issues = ref [] in
+  let report line message =
+    issues := { Report.file; line; rule; message } :: !issues
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply (f, args) when head_in hash_heads f ->
+              if List.exists (fun (_, a) -> accumulates_float a) args then
+                report
+                  (Ast_util.line_of e.pexp_loc)
+                  "non-associative float accumulation over hash-ordered iteration; \
+                   the result depends on the salted hash order: fold a sorted \
+                   snapshot instead, or waive with (* lint:ignore float-fold-order: \
+                   reason *)"
+          | Pexp_apply (f, args) when head_in fold_heads f ->
+              let acc = List.exists (fun (_, a) -> accumulates_float a) args in
+              let hash = List.exists (fun (_, a) -> draws_hash_order a) args in
+              let jobs = List.exists (fun (_, a) -> draws_job_results a) args in
+              if acc && (hash || jobs) then
+                report
+                  (Ast_util.line_of e.pexp_loc)
+                  (if hash then
+                     "non-associative float accumulation over a hash-ordered \
+                      sequence; the result depends on the salted hash order: fold a \
+                      sorted snapshot instead, or waive with (* lint:ignore \
+                      float-fold-order: reason *)"
+                   else
+                     "non-associative float accumulation over parallel job results; \
+                      state the iteration order (job-id order is deterministic, \
+                      completion order is not), then waive with (* lint:ignore \
+                      float-fold-order: reason *)")
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it str;
+  List.rev !issues

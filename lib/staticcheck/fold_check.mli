@@ -1,0 +1,13 @@
+(** Order-determinism of floating-point reductions ([float-fold-order]).
+
+    Float [+.]/[*.] are not associative, so a reduction is reproducible
+    only over a fixed iteration order.  Flags float accumulation inside
+    [Hashtbl.fold]/[Hashtbl.iter] closures, and list/array/seq folds
+    that accumulate floats while drawing from [Hashtbl.to_seq*] or from
+    a parallel runner's [jobs] field.  Deliberate, order-audited
+    reductions waive with [(* lint:ignore float-fold-order: reason *)]. *)
+
+val rule : string
+
+val check : file:string -> Parsetree.structure -> Report.issue list
+(** Per-file scan; issues are reported at the application site. *)

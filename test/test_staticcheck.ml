@@ -523,6 +523,255 @@ let test_alloc_solve_fixpoint =
               (fun (caller, callee) -> Staticcheck.Alloc_check.leq s.(callee) s.(caller))
               e1))
 
+(* ----- ownership/escape pass -----
+
+   Single-unit fixtures use an entry-bearing or host-unit file name
+   (host.ml is the [Host] unit); cross-unit fixtures (cluster flows,
+   boundary annotations, re-exports) write a temp tree and run
+   [analyze_paths] on it. *)
+
+let with_tmp_tree files f =
+  let dir = Filename.temp_file "staticcheck" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let created = ref [] in
+  List.iter
+    (fun (rel, content) ->
+      let path = Filename.concat dir rel in
+      let parent = Filename.dirname path in
+      if not (Sys.file_exists parent) then begin
+        Sys.mkdir parent 0o755;
+        created := parent :: !created
+      end;
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      created := path :: !created)
+    files;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.is_directory p then Sys.rmdir p else Sys.remove p)
+        !created;
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_ownership_spawn_capture () =
+  Alcotest.(check (list string)) "host-bound local captured by a spawn"
+    [ "shard-escape" ]
+    (rules
+       (analyze ~file:"lib/fake/host.ml"
+          "let create () = ref 0\n\
+           let bad () = let h = create () in Domain.spawn (fun () -> ignore !h)\n"));
+  Alcotest.(check (list string)) "shard-pool idiom: host created inside the worker" []
+    (rules
+       (analyze ~file:"lib/fake/host.ml"
+          "let create () = ref 0\n\
+           let ok () = Domain.spawn (fun () -> let h = create () in ignore !h)\n"))
+
+let test_ownership_entry_return () =
+  Alcotest.(check (list string)) "host returned through a simulation entry"
+    [ "shard-escape" ]
+    (rules
+       (analyze ~file:"lib/experiments/vm.ml"
+          "let create () = ref 0\nlet run () = create ()\n"));
+  Alcotest.(check (list string)) "host consumed inside the entry is fine" []
+    (rules
+       (analyze ~file:"lib/experiments/vm.ml"
+          "let create () = ref 0\nlet run () = let v = create () in ignore v; 42\n"))
+
+let test_ownership_global_registration () =
+  Alcotest.(check (list string)) "host stored in a global table"
+    [ "shard-escape" ]
+    (rules
+       (analyze ~file:"lib/fake/host.ml"
+          "let table = Hashtbl.create 8\n\
+           let create () = ref 0\n\
+           let register () = let h = create () in Hashtbl.add table \"h\" h\n"))
+
+let test_ownership_unknown_flow () =
+  Alcotest.(check (list string)) "host passed to an unresolved callee"
+    [ "shard-unknown-flow" ]
+    (rules
+       (analyze ~file:"lib/fake/host.ml"
+          "let create () = ref 0\nlet leak () = let h = create () in Stash.keep h\n"));
+  Alcotest.(check (list string)) "discarding a host is fine" []
+    (rules
+       (analyze ~file:"lib/fake/host.ml"
+          "let create () = ref 0\nlet fine () = let h = create () in ignore h\n"))
+
+let shard_rules issues =
+  rules
+    (List.filter
+       (fun i -> i.Report.rule = "shard-escape" || i.Report.rule = "shard-unknown-flow")
+       issues)
+
+let test_ownership_cluster_boundary () =
+  let host = "let create () = ref 0\nlet poke h = incr h\n" in
+  with_tmp_tree
+    [ ("host.ml", host); ("cluster/manager.ml", "let touch h = Host.poke h\n") ]
+    (fun dir ->
+      match
+        List.filter
+          (fun i -> i.Report.rule = "shard-escape")
+          (Staticcheck.analyze_paths [ dir ])
+      with
+      | [ i ] ->
+          check_bool "witness names the host API" true (contains i.Report.message "Host.poke");
+          check_bool "chain reaches the cluster caller" true
+            (contains i.Report.message "Host.poke → Manager.touch")
+      | _ -> Alcotest.fail "expected exactly one shard-escape");
+  with_tmp_tree
+    [
+      ("host.ml", host);
+      ( "cluster/manager.ml",
+        "(* shard: boundary — declared test channel *)\nlet touch h = Host.poke h\n" );
+    ]
+    (fun dir ->
+      Alcotest.(check (list string)) "annotated boundary function is legal" []
+        (shard_rules (Staticcheck.analyze_paths [ dir ])))
+
+(* The machine-readable confinement report: classes flow from the
+   simulation entry (ShardConfined) and through a declared cluster
+   boundary (BoundaryChannel) into exactly the fields those paths
+   touch. *)
+let test_ownership_shard_roots () =
+  with_tmp_tree
+    [
+      ( "host.ml",
+        "type t = { mutable n : int; series : float array }\n\
+         let create () = { n = 0; series = [||] }\n\
+         let bump t = t.n <- t.n + 1\n" );
+      ( "experiments/exp.ml",
+        "let run () = let h = Host.create () in Host.bump h; 0\n" );
+      ( "cluster/mgr.ml",
+        "(* shard: boundary — test channel *)\nlet drain h = Host.bump h\n" );
+    ]
+    (fun dir ->
+      let lines = Staticcheck.shard_roots_of_paths [ dir ] in
+      Alcotest.(check (list string)) "verdict per mutable root, sorted"
+        [
+          "Host.t.n\tmutable field\tBoundaryChannel";
+          "Host.t.series\tarray\tShardConfined";
+        ]
+        lines)
+
+(* ----- callgraph resolution edge cases ----- *)
+
+let test_callgraph_include () =
+  (* [include Impl] re-exports [Impl.stamp] at the top level; the entry's
+     bare [stamp ()] call must land on it (and carry the nondet effect). *)
+  let issues =
+    analyze ~file:"lib/fake/runner.ml"
+      "module Impl = struct\n\
+      \  let stamp () = Unix.gettimeofday ()\n\
+       end\n\
+       include Impl\n\
+       let run_all () = stamp ()\n"
+  in
+  Alcotest.(check (list string)) "call through include resolves" [ "effect-nondet" ]
+    (rules issues);
+  (match issues with
+  | [ i ] ->
+      check_bool "chain lands on the included binding" true
+        (contains i.Report.message "Runner.run_all → Runner.Impl.stamp")
+  | _ -> Alcotest.fail "expected exactly one issue");
+  (* the same shape one module level down *)
+  Alcotest.(check (list string)) "nested include resolves" [ "effect-nondet" ]
+    (rules
+       (analyze ~file:"lib/fake/runner.ml"
+          "module Defaults = struct\n\
+          \  let stamp () = Unix.gettimeofday ()\n\
+           end\n\
+           module M = struct\n\
+          \  include Defaults\n\
+           end\n\
+           let run_all () = M.stamp ()\n"))
+
+let test_callgraph_functor () =
+  (* functor applications are opaque: paths through [F (X)] stay
+     External, with no finding and no crash *)
+  Alcotest.(check (list string)) "functor application is opaque" []
+    (rules
+       (analyze ~file:"lib/fake/runner.ml"
+          "module F (X : sig val v : int end) = struct\n\
+          \  let get () = X.v\n\
+           end\n\
+           module M = F (struct let v = 1 end)\n\
+           let run_all () = M.get ()\n"))
+
+let test_callgraph_reexport () =
+  (* alias chase + cross-unit fall-through + nested module path: the
+     spawn in [b.ml] reaches [A.Inner.gauge] through [module A2 = A] *)
+  with_tmp_tree
+    [
+      ("a.ml", "module Inner = struct\n  let gauge = ref 0\nend\n");
+      ("b.ml", "module A2 = A\nlet go () = Domain.spawn (fun () -> A2.Inner.gauge := 1)\n");
+    ]
+    (fun dir ->
+      let issues = Staticcheck.analyze_paths [ dir ] in
+      check_bool "nested re-exported root is reached" true
+        (List.exists
+           (fun i ->
+             i.Report.rule = "lock-discipline" && contains i.Report.file "a.ml")
+           issues))
+
+(* ----- float-fold-order ----- *)
+
+let test_fold_order () =
+  check_rules "hashtbl fold accumulating floats" [ "float-fold-order" ]
+    "let total h = Hashtbl.fold (fun _ v acc -> acc +. v) h 0.0\n";
+  check_rules "hashtbl iter accumulating floats" [ "float-fold-order" ]
+    "let total h = let s = ref 0.0 in Hashtbl.iter (fun _ v -> s := !s +. v) h; !s\n";
+  check_rules "seq fold over a hash-ordered sequence" [ "float-fold-order" ]
+    "let total h = Seq.fold_left ( +. ) 0.0 (Hashtbl.to_seq_values h)\n";
+  check_rules "fold over parallel job results" [ "float-fold-order" ]
+    "let total r = List.fold_left (fun acc j -> acc +. j) 0.0 r.jobs\n";
+  check_rules "integer fold over a hashtbl is fine" []
+    "let count h = Hashtbl.fold (fun _ _ acc -> acc + 1) h 0\n";
+  check_rules "float fold over a plain list is fine" []
+    "let total l = List.fold_left ( +. ) 0.0 l\n";
+  check_rules "waived deliberate reduction" []
+    "let total h = Hashtbl.fold (fun _ v acc -> acc +. v) h 0.0 (* lint:ignore \
+     float-fold-order: audited *)\n"
+
+(* The same qcheck properties over the confinement lattice's solver. *)
+
+let ownership_classes =
+  [|
+    Staticcheck.Ownership_check.Host_confined; Shard_confined; Boundary_channel;
+    Escaping;
+  |]
+
+let ownership_fixture (n, codes, e1, e2) =
+  let base =
+    Array.init n (fun i ->
+        ownership_classes.(match List.nth_opt codes i with Some c -> c | None -> i mod 4))
+  in
+  let clamp = List.filter (fun (a, b) -> a < n && b < n) in
+  (n, base, clamp e1, clamp e2)
+
+let test_ownership_solve_monotone =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"ownership solve is monotone under edge addition"
+       solve_input (fun input ->
+         let n, base, e1, e2 = ownership_fixture input in
+         let s1 = Staticcheck.Ownership_check.solve ~n ~base ~edges:e1 in
+         let s2 = Staticcheck.Ownership_check.solve ~n ~base ~edges:(e1 @ e2) in
+         Array.for_all2 Staticcheck.Ownership_check.leq s1 s2))
+
+let test_ownership_solve_fixpoint =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"ownership solve is a fixpoint above base"
+       solve_input (fun input ->
+         let n, base, e1, _ = ownership_fixture input in
+         let s = Staticcheck.Ownership_check.solve ~n ~base ~edges:e1 in
+         Array.for_all2 Staticcheck.Ownership_check.leq base s
+         && List.for_all
+              (fun (caller, callee) ->
+                Staticcheck.Ownership_check.leq s.(callee) s.(caller))
+              e1))
+
 (* ----- SARIF: minimal JSON reader and round-trip ----- *)
 
 type json =
@@ -780,6 +1029,7 @@ let test_explain_coverage () =
       "experiment-state"; "effect-nondet"; "effect-ambient"; "lock-discipline";
       "alloc-in-hot-path"; "alloc-unknown-callee"; "float-eq"; "random";
       "assert-false"; "mutable-doc"; "hashtbl-create"; "hot-path-printf";
+      "shard-escape"; "shard-unknown-flow"; "float-fold-order";
     ];
   check_bool "unknown rule has no entry" true (Staticcheck.Explain.find "no-such-rule" = None)
 
@@ -888,6 +1138,78 @@ let test_driver_alloc_determinism () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Sys.rmdir dir
 
+(* Satellite of the shard prover: the committed SARIF baseline must be
+   empty — every legacy finding has been fixed or carries an in-source
+   waiver, so a fresh finding can never hide behind the baseline. *)
+let test_baseline_is_empty () =
+  let path =
+    Filename.concat (Filename.dirname Sys.executable_name) "../analysis-baseline.sarif"
+  in
+  check_int "committed analysis baseline carries no findings" 0
+    (List.length (Staticcheck.Sarif.load path))
+
+(* The ownership pass end to end through the driver: a planted cluster
+   flow fails the build with the constructor→escape chain in the SARIF
+   message, the report is byte-identical across repeated runs and every
+   --jobs value, --shard-roots prints the per-root confinement verdicts,
+   and the per-pass timing covers the ownership pass. *)
+let test_driver_shard_determinism () =
+  let exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/analyze_main.exe"
+  in
+  let dir = Filename.temp_file "shardcheck" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Sys.mkdir (Filename.concat dir "cluster") 0o755;
+  let write name content =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc content;
+    close_out oc
+  in
+  let run ?stdout args =
+    Sys.command
+      (Filename.quote_command exe args
+         ~stdout:(Option.value stdout ~default:Filename.null)
+         ~stderr:Filename.null)
+  in
+  write "host.ml"
+    "type t = { mutable n : int }\n\
+     let create () = { n = 0 }\n\
+     let bump t = t.n <- t.n + 1\n";
+  write (Filename.concat "cluster" "mgr.ml") "let touch h = Host.bump h\n";
+  let sarif_of name args =
+    let path = Filename.concat dir name in
+    check_bool "planted cluster flow exits nonzero" true
+      (run ([ "--sarif"; path ] @ args @ [ dir ]) <> 0);
+    Report.read_file path
+  in
+  let s1 = sarif_of "r1.sarif" [] in
+  let s2 = sarif_of "r2.sarif" [] in
+  check_bool "repeated runs are byte-identical" true (String.equal s1 s2);
+  List.iter
+    (fun jobs ->
+      let s = sarif_of ("j" ^ jobs ^ ".sarif") [ "--jobs"; jobs ] in
+      check_bool ("--jobs " ^ jobs ^ " is byte-identical") true (String.equal s1 s))
+    [ "1"; "2"; "4" ];
+  check_bool "escape chain reaches the SARIF report" true
+    (contains s1 "shard-escape" && contains s1 "Host.bump → Mgr.touch");
+  let roots_path = Filename.concat dir "roots.txt" in
+  check_int "--shard-roots exits 0" 0 (run ~stdout:roots_path [ "--shard-roots"; dir ]);
+  check_bool "verdict names the mutable root and its class" true
+    (contains (Report.read_file roots_path) "Host.t.n\tmutable field\t");
+  let timing_path = Filename.concat dir "t.json" in
+  ignore (run [ "--timing"; timing_path; dir ]);
+  check_bool "per-pass timing covers the ownership pass" true
+    (contains (Report.read_file timing_path) "\"ownership_seconds\"");
+  Array.iter
+    (fun f ->
+      let p = Filename.concat dir f in
+      if not (Sys.is_directory p) then Sys.remove p)
+    (Sys.readdir dir);
+  Sys.remove (Filename.concat dir "cluster/mgr.ml");
+  Sys.rmdir (Filename.concat dir "cluster");
+  Sys.rmdir dir
+
 let () =
   Alcotest.run "staticcheck"
     [
@@ -938,6 +1260,25 @@ let () =
           test_alloc_solve_monotone;
           test_alloc_solve_fixpoint;
         ] );
+      ( "ownership",
+        [
+          Alcotest.test_case "spawn capture" `Quick test_ownership_spawn_capture;
+          Alcotest.test_case "entry return" `Quick test_ownership_entry_return;
+          Alcotest.test_case "global registration" `Quick test_ownership_global_registration;
+          Alcotest.test_case "unknown flow" `Quick test_ownership_unknown_flow;
+          Alcotest.test_case "cluster boundary" `Quick test_ownership_cluster_boundary;
+          Alcotest.test_case "shard roots report" `Quick test_ownership_shard_roots;
+          Alcotest.test_case "driver determinism" `Quick test_driver_shard_determinism;
+          test_ownership_solve_monotone;
+          test_ownership_solve_fixpoint;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "include re-export" `Quick test_callgraph_include;
+          Alcotest.test_case "functor opacity" `Quick test_callgraph_functor;
+          Alcotest.test_case "nested re-export" `Quick test_callgraph_reexport;
+        ] );
+      ( "folds", [ Alcotest.test_case "float fold order" `Quick test_fold_order ] );
       ( "sarif",
         [
           Alcotest.test_case "round trip" `Quick test_sarif_roundtrip;
@@ -947,5 +1288,6 @@ let () =
           Alcotest.test_case "baseline diff" `Quick test_sarif_baseline_diff;
           Alcotest.test_case "explain coverage" `Quick test_explain_coverage;
           Alcotest.test_case "driver exit code" `Quick test_driver_exit_code;
+          Alcotest.test_case "committed baseline is empty" `Quick test_baseline_is_empty;
         ] );
     ]
